@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing: result files + console echo."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Collects experiment text; writes it to benchmarks/results/ and
+    echoes it so `pytest -s` (and the tee'd logs) show the tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    class Reporter:
+        def __init__(self):
+            self.chunks: list[str] = []
+            self.name = "experiment"
+
+        def __call__(self, text: str) -> None:
+            self.chunks.append(text)
+            print(text)
+
+        def flush(self, name: str) -> None:
+            self.name = name
+            path = RESULTS_DIR / f"{name}.txt"
+            path.write_text("\n".join(self.chunks) + "\n")
+
+    return Reporter()

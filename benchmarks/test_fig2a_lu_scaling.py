@@ -1,0 +1,75 @@
+"""Figure 2(a): LU iteration time vs processor count, per matrix size.
+
+Paper series: running time of one LU factorization for matrices of
+8000..24000 over the Table 2 processor configurations.  The reproduced
+shape: times fall steeply at small processor counts, flatten, and the
+benefit of adding processors is far larger for big matrices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_static
+from repro.cluster.machine import MachineSpec
+from repro.metrics import format_table
+from repro.workloads.paper import PROCESSOR_CONFIGS, make_application
+
+#: Paper's reference curve for the 12000 series (Fig 3a table column).
+PAPER_12000 = {2: 129.63, 4: 112.52, 6: 82.31, 9: 79.61, 12: 69.85,
+               16: 74.91}
+
+SIZES = [8000, 12000, 14000, 16000, 20000, 21000, 24000]
+
+
+def _measure(size: int) -> dict[int, float]:
+    out: dict[int, float] = {}
+    for config in PROCESSOR_CONFIGS[("LU", size)]:
+        app = make_application("lu", size, iterations=1)
+        result = run_static(app, config, spec=MachineSpec())
+        out[config[0] * config[1]] = result.mean_iteration_time
+    return out
+
+
+@pytest.mark.benchmark(group="fig2a")
+def test_fig2a_lu_scaling(benchmark, report):
+    curves: dict[int, dict[int, float]] = {}
+
+    def run_all():
+        for size in SIZES:
+            curves[size] = _measure(size)
+        return curves
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    all_procs = sorted({p for c in curves.values() for p in c})
+    rows = []
+    for p in all_procs:
+        rows.append([p] + [curves[s].get(p) for s in SIZES])
+    report(format_table(
+        ["procs"] + [f"n={s}" for s in SIZES], rows,
+        title="Figure 2(a) — LU iteration time (s) vs processors"))
+
+    # Shape assertions mirroring the paper's observations.
+    for size in SIZES:
+        curve = curves[size]
+        procs = sorted(curve)
+        # Strong improvement from the smallest to the largest-but-one
+        # configuration for every size.
+        assert curve[procs[0]] > curve[procs[-2]], size
+    # Larger matrices gain more from resizing (paper: "performance
+    # benefits are greater for larger problem sizes").
+    def relative_gain(size):
+        c = curves[size]
+        ps = sorted(c)
+        return (c[ps[0]] - min(c.values())) / c[ps[0]]
+
+    assert relative_gain(24000) > relative_gain(8000)
+
+    # The 12000 series stays within a factor ~2 of the paper's numbers
+    # at small processor counts (the calibration anchor).
+    sim = curves[12000]
+    for procs in (2, 4, 6):
+        assert sim[procs] == pytest.approx(PAPER_12000[procs], rel=0.6)
+    report("\nPaper 12000 series: " + str(PAPER_12000))
+    report.flush("fig2a_lu_scaling")

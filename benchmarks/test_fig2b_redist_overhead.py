@@ -1,0 +1,85 @@
+"""Figure 2(b): data-redistribution overhead at each expansion step.
+
+Each point: the cost of redistributing an n x n block-cyclic matrix from
+one Table 2 configuration to the next larger one.  Paper shape: cost
+grows with matrix size, and for a fixed size *decreases* as the
+processor count grows (less data per processor to move, more wires).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blacs import ProcessGrid
+from repro.cluster import Machine, MachineSpec
+from repro.darray import Descriptor, DistributedMatrix
+from repro.metrics import format_table
+from repro.mpi import World
+from repro.redist import redistribute
+from repro.simulate import Environment
+from repro.workloads.paper import PROCESSOR_CONFIGS
+
+SIZES = [8000, 12000, 14000, 16000, 20000, 21000, 24000]
+
+
+def redistribution_cost(n: int, old: tuple[int, int],
+                        new: tuple[int, int]) -> float:
+    env = Environment()
+    machine = Machine(env, MachineSpec())
+    world = World(env, machine, launch_overhead=0.0)
+    block = 120  # ScaLAPACK-ish block size for big dense matrices
+    desc = Descriptor(m=n, n=n, mb=block, nb=block,
+                      grid=ProcessGrid(*old))
+    dm = DistributedMatrix(desc, materialized=False)
+    out = {}
+
+    def main(comm):
+        res = yield from redistribute(comm, dm, ProcessGrid(*new))
+        out[comm.rank] = res.elapsed
+
+    nprocs = max(old[0] * old[1], new[0] * new[1])
+    world.launch(main, processors=list(range(nprocs)))
+    env.run()
+    return out[0]
+
+
+@pytest.mark.benchmark(group="fig2b")
+def test_fig2b_redistribution_overhead(benchmark, report):
+    curves: dict[int, list[tuple[int, float]]] = {}
+
+    def run_all():
+        for size in SIZES:
+            configs = PROCESSOR_CONFIGS[("LU", size)]
+            series = []
+            for old, new in zip(configs, configs[1:]):
+                cost = redistribution_cost(size, old, new)
+                series.append((new[0] * new[1], cost))
+            curves[size] = series
+        return curves
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for size in SIZES:
+        for procs, cost in curves[size]:
+            rows.append([size, procs, cost])
+    report(format_table(
+        ["matrix size", "procs after expansion", "redistribution (s)"],
+        rows,
+        title="Figure 2(b) — redistribution overhead per expansion"))
+
+    # Shape assertion 1: cost grows with matrix size (compare the first
+    # expansion step of the smallest and largest sizes).
+    assert curves[24000][0][1] > curves[8000][0][1]
+    # Shape assertion 2: for a fixed size the cost *trend* is downward
+    # as processors grow (the paper's wording); the cheapest expansion
+    # comes after the first one.  The tail may tick back up once the
+    # switch fabric saturates at very large grids.
+    for size in SIZES:
+        series = curves[size]
+        assert min(c for _p, c in series[1:]) < series[0][1], size
+    # Magnitude: the paper's Fig 2(b) spans roughly 2-23 seconds.
+    all_costs = [c for s in curves.values() for _, c in s]
+    assert min(all_costs) > 0.2
+    assert max(all_costs) < 120.0
+    report.flush("fig2b_redist_overhead")

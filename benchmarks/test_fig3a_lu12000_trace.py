@@ -1,0 +1,75 @@
+"""Figure 3(a): the resize trace of LU(12000) under ReSHAPE.
+
+The paper's table shows, per resize step: processor count, iteration
+time T, the improvement dT, and the redistribution cost.  Its story:
+the application grows as long as iterations get faster, overshoots once
+(16 processors was worse than 12), is shrunk back, and holds for the
+remaining iterations.
+
+The reproduction runs the same experiment on the simulated cluster and
+asserts the same story: monotone growth, exactly one overshoot/shrink
+pair, then a hold at the sweet spot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReshapeFramework
+from repro.metrics import format_table
+from repro.workloads.paper import make_application
+
+
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_lu12000_resize_trace(benchmark, report):
+    state = {}
+
+    def run():
+        fw = ReshapeFramework(num_processors=36)
+        app = make_application("lu", 12000, iterations=10)
+        job = fw.submit(app, config=(1, 2))
+        fw.run()
+        state["fw"], state["job"] = fw, job
+        return job
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    fw, job = state["fw"], state["job"]
+
+    rows = []
+    prev_t = None
+    for it, config, t, redist in job.iteration_log:
+        procs = config[0] * config[1]
+        dt = None if prev_t is None else prev_t - t
+        rows.append([procs, t, dt, redist])
+        prev_t = t
+    report(format_table(
+        ["Processors", "Iteration time (s)", "dT (s)",
+         "Redistribution (s)"],
+        rows, title="Figure 3(a) — LU(12000) resize trace under ReSHAPE"))
+
+    procs_seq = [cfg[0] * cfg[1] for _, cfg, _, _ in job.iteration_log]
+    times = {cfg[0] * cfg[1]: t for _, cfg, t, _ in job.iteration_log}
+
+    # Grew from the starting set...
+    assert procs_seq[0] == 2
+    assert max(procs_seq) > procs_seq[0]
+    # ...overshot exactly once: the largest visited size was slower than
+    # the size before it, and the job was shrunk back and held there.
+    peak = max(procs_seq)
+    peak_idx = procs_seq.index(peak)
+    assert peak_idx >= 1
+    before_peak = procs_seq[peak_idx - 1]
+    assert times[peak] > times[before_peak], \
+        "the overshoot configuration should have been slower"
+    # After the shrink the allocation holds at the sweet spot.
+    tail = procs_seq[peak_idx + 1:]
+    assert tail, "job should keep iterating after the shrink"
+    assert all(p == before_peak for p in tail), \
+        f"allocation should hold at {before_peak}, got {tail}"
+    # Redistribution costs were recorded for every resize.
+    resize_costs = [r for _, _, _, r in job.iteration_log if r > 0]
+    assert len(resize_costs) >= 2
+
+    report(f"\nsweet spot: {before_peak} processors "
+           f"(paper: 12; overshoot at {peak}, paper: 16)")
+    report.flush("fig3a_lu12000_trace")

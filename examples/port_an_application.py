@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Porting your own iterative code to ReSHAPE (paper §3.2.3).
+
+The paper's pitch is that a conventional SPMD program needs only small
+changes to become resizable: mark the resize point at the end of the
+outer loop and declare the global data.  This example writes a new
+application from scratch — a distributed power-iteration eigensolver —
+ports it to the :class:`~repro.apps.Application` interface, and runs it
+resizable under the framework.
+
+Run:  python examples/port_an_application.py
+"""
+
+import numpy as np
+
+from repro.apps.base import AppContext, Application
+from repro.blacs import ProcessGrid
+from repro.core import ReshapeFramework
+from repro.darray import Descriptor, DistributedMatrix, numroc
+from repro.darray.blockcyclic import local_to_global
+from repro.mpi import Phantom, SUM
+
+
+class PowerIteration(Application):
+    """Dominant-eigenvector solver: x <- A x / ||A x|| each sweep.
+
+    Structure mirrors the paper's target applications: a global 2-D
+    array (row strips), a replicated small vector, an outer iteration of
+    uniform cost — so it resizes with zero extra effort.
+    """
+
+    topology = "flat"
+    sweeps_per_iteration = 10
+
+    @property
+    def name(self) -> str:
+        return "PowerIteration"
+
+    def default_block(self) -> int:
+        return max(1, self.problem_size // 20)
+
+    def create_data(self, grid: ProcessGrid):
+        if grid.pc != 1:
+            grid = ProcessGrid(grid.size, 1)
+        desc = Descriptor(m=self.problem_size, n=self.problem_size,
+                          mb=self.block, nb=self.problem_size,
+                          grid=grid)
+        if self.materialized:
+            rng = np.random.default_rng(42)
+            n = self.problem_size
+            a = rng.standard_normal((n, n))
+            a = a + a.T  # symmetric: real dominant eigenpair
+            # A rank-one boost isolates the top eigenvalue so the power
+            # method converges within the demo's sweep budget.
+            v = rng.standard_normal(n)
+            v /= np.linalg.norm(v)
+            a += 8.0 * np.sqrt(n) * np.outer(v, v)
+            return {"A": DistributedMatrix.from_global(a, desc)}
+        return {"A": DistributedMatrix(desc, materialized=False)}
+
+    def legal_configs(self, max_procs, min_procs=1):
+        return [(p, 1) for p in range(min_procs, max_procs + 1)
+                if self.problem_size % p == 0]
+
+    def iterate(self, ctx: AppContext):
+        """One outer iteration = a batch of power-method sweeps.
+
+        This is the *entire* port: ordinary distributed numpy code with
+        `yield from` on the communication calls.  The resize point is
+        wherever this generator returns.
+        """
+        a = ctx.data["A"]
+        desc = a.desc
+        n, pr = desc.n, desc.grid.pr
+        myrow = ctx.blacs.myrow
+        lm = numroc(n, desc.mb, myrow, 0, pr)
+        state = ctx.data.setdefault("_x", {})
+        x = state.get("x")
+        if a.materialized and x is None:
+            x = np.ones(n) / np.sqrt(n)
+
+        for _ in range(self.sweeps_per_iteration):
+            yield from ctx.charge(2.0 * lm * n)     # local strip matvec
+            if a.materialized:
+                rows = [local_to_global(i, myrow, desc.mb, 0, pr)
+                        for i in range(lm)]
+                piece = (rows, a.local(ctx.comm.rank) @ x)
+            else:
+                piece = Phantom(lm * 8)
+            pieces = yield from ctx.comm.allgather(piece)
+            if a.materialized:
+                y = np.empty(n)
+                for rows, vals in pieces:
+                    y[rows] = vals
+                norm2 = yield from ctx.comm.allreduce(
+                    float(y @ y), SUM)
+                x = y / np.sqrt(norm2 / ctx.comm.size)
+            else:
+                yield from ctx.comm.allreduce(0.0, SUM)
+        if a.materialized and ctx.comm.rank == 0:
+            state["x"] = x
+
+    def verify(self, data) -> bool:
+        state = data.get("_x", {})
+        if "x" not in state or not data["A"].materialized:
+            return True
+        a = data["A"].to_global()
+        x = state["x"]
+        lam = x @ a @ x
+        return bool(np.linalg.norm(a @ x - lam * x) < 1e-6 * abs(lam))
+
+
+def main() -> None:
+    framework = ReshapeFramework(num_processors=20)
+    app = PowerIteration(200, iterations=8, materialized=True)
+    job = framework.submit(app, config=(2, 1), name="power-iteration")
+    framework.run()
+
+    print(f"job finished: {job.state.value}, "
+          f"turn-around {job.turnaround:.2f} s")
+    print("allocation path:",
+          " -> ".join(f"{c[0] * c[1]}"
+                      for c in dict.fromkeys(
+                          cfg for _i, cfg, _t, _r in job.iteration_log)))
+    print("eigenpair verified:", app.verify(job.data))
+
+
+if __name__ == "__main__":
+    main()

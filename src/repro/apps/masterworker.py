@@ -1,0 +1,117 @@
+"""Synthetic master-worker application (paper's Master-worker job).
+
+"A synthetic master-worker application.  Each iteration requires 20000
+fixed-time work units."  (Table 1)
+
+Rank 0 deals chunks of work units to workers on demand (classic
+self-scheduling); workers compute a fixed number of flops per unit and
+report back.  There is no global data, so resizing never redistributes
+anything — which is exactly why the paper's Figure 3(b) shows no
+difference between checkpointing and ReSHAPE for this job.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import AppContext, Application
+from repro.blacs import ProcessGrid
+from repro.darray import DistributedMatrix
+from repro.mpi import ANY_SOURCE
+
+_WORK_TAG = 31
+_RESULT_TAG = 32
+_STOP = -1
+
+
+class MasterWorkerApplication(Application):
+    """Self-scheduling master-worker with fixed-time units."""
+
+    topology = "flat"
+
+    #: Units per outer iteration (Table 1).
+    units_per_iteration = 20000
+    #: Units handed out per message; bounds messaging cost realistically.
+    chunk_size = 200
+
+    def __init__(self, problem_size: int, **kwargs):
+        """``problem_size`` is the job's total work in flops (the paper
+        writes Master-worker(4000000000)); each of the
+        ``units_per_iteration x iterations`` units costs an equal share.
+        """
+        super().__init__(problem_size, **kwargs)
+
+    @property
+    def name(self) -> str:
+        return "Master-worker"
+
+    def default_block(self) -> int:
+        return 1
+
+    @property
+    def unit_flops(self) -> float:
+        total_units = self.units_per_iteration * max(1, self.iterations)
+        return float(self.problem_size) / total_units
+
+    def create_data(self, grid: ProcessGrid) -> dict[str, DistributedMatrix]:
+        return {}  # nothing to redistribute
+
+    def legal_configs(self, max_procs: int,
+                      min_procs: int = 1) -> list[tuple[int, int]]:
+        if self.allowed_configs is not None:
+            return super().legal_configs(max_procs, min_procs)
+        # Master + at least one worker; any count up to the machine.
+        lo = max(2, min_procs)
+        return [(1, p) for p in range(lo, max_procs + 1, 2)]
+
+    def flops_per_iteration(self) -> float:
+        return self.unit_flops * self.units_per_iteration
+
+    def iterate(self, ctx: AppContext) -> Generator:
+        comm = ctx.comm
+        if comm.size < 2:
+            # Degenerate single-process fallback: master does the work.
+            yield from ctx.charge(self.flops_per_iteration())
+            return
+        if comm.rank == 0:
+            yield from self._master(ctx)
+        else:
+            yield from self._worker(ctx)
+
+    def _master(self, ctx: AppContext) -> Generator:
+        comm = ctx.comm
+        remaining = self.units_per_iteration
+        outstanding = 0
+        # Prime every worker with one chunk.
+        for worker in range(1, comm.size):
+            take = min(self.chunk_size, remaining)
+            if take == 0:
+                break
+            yield from comm.send(take, dest=worker, tag=_WORK_TAG)
+            remaining -= take
+            outstanding += 1
+        # Deal further chunks as results come back.
+        while outstanding > 0:
+            _result, status = yield from comm.recv_status(ANY_SOURCE,
+                                                          _RESULT_TAG)
+            outstanding -= 1
+            take = min(self.chunk_size, remaining)
+            if take > 0:
+                yield from comm.send(take, dest=status.source,
+                                     tag=_WORK_TAG)
+                remaining -= take
+                outstanding += 1
+        # This iteration is over; tell workers to fall through.
+        for worker in range(1, comm.size):
+            yield from comm.send(_STOP, dest=worker, tag=_WORK_TAG)
+
+    def _worker(self, ctx: AppContext) -> Generator:
+        comm = ctx.comm
+        done = 0
+        while True:
+            chunk = yield from comm.recv(source=0, tag=_WORK_TAG)
+            if chunk == _STOP:
+                break
+            yield from ctx.charge(chunk * self.unit_flops)
+            done += chunk
+            yield from comm.send(done, dest=0, tag=_RESULT_TAG)

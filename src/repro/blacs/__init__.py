@@ -1,0 +1,18 @@
+"""BLACS-style process-grid contexts over the simulated MPI layer.
+
+The paper builds its resizing library "on top of the ScaLAPACK
+communication library, BLACS", modified for dynamic process management.
+This package provides the pieces that matter for that role:
+
+* :class:`ProcessGrid` — a row-major ``pr x pc`` logical grid.
+* :class:`BlacsContext` — a grid bound to a communicator, with row and
+  column sub-communicators (the channels ScaLAPACK kernels broadcast
+  panels over), created collectively and torn down/rebuilt around each
+  resize, exactly as ReSHAPE exits the old BLACS context and creates a
+  new one after a spawn or shrink.
+"""
+
+from repro.blacs.grid import ProcessGrid
+from repro.blacs.context import BlacsContext
+
+__all__ = ["BlacsContext", "ProcessGrid"]

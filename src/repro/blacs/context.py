@@ -1,0 +1,105 @@
+"""BLACS context: a grid bound to a communicator with row/col channels."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.blacs.grid import ProcessGrid
+from repro.mpi.comm import Comm
+from repro.mpi.errors import MPIError
+
+
+class BlacsContext:
+    """A live process-grid context for one rank.
+
+    Created *collectively*: every rank of ``comm`` whose rank is below
+    ``pr*pc`` joins the grid; extra ranks get ``None`` back (mirroring
+    BLACS where processes outside the grid have no context).  Each member
+    holds its coordinates plus row and column sub-communicators.
+
+    Resizing tears a context down (:meth:`exit`) and builds a fresh one on
+    the post-resize communicator — the paper's "the old BLACS context is
+    exited and a new context is created for the new processor set".
+    """
+
+    def __init__(self, comm: Comm, grid: ProcessGrid,
+                 row_comm: Comm, col_comm: Comm):
+        self.comm = comm
+        self.grid = grid
+        self.row_comm = row_comm
+        self.col_comm = col_comm
+        self.myrow, self.mycol = grid.coords(comm.rank)
+        self._alive = True
+
+    # -- factory -----------------------------------------------------------
+    @staticmethod
+    def create(comm: Comm, pr: int, pc: int) -> Generator:
+        """Collectively build a ``pr x pc`` context on the first pr*pc ranks.
+
+        All ranks of ``comm`` must call this.  Returns this rank's
+        :class:`BlacsContext`, or ``None`` for ranks outside the grid.
+        """
+        grid = ProcessGrid(pr, pc)
+        if grid.size > comm.size:
+            raise MPIError(f"grid {pr}x{pc} needs {grid.size} ranks, "
+                           f"communicator has {comm.size}")
+        # Grid communicator: the first pr*pc ranks.
+        grid_comm = yield from comm.create_sub(list(range(grid.size)))
+        # Row and column communicators: every rank participates in every
+        # create_sub call (collective over the parent), members keep theirs.
+        my_row_comm: Optional[Comm] = None
+        my_col_comm: Optional[Comm] = None
+        for row in range(pr):
+            sub = yield from comm.create_sub(grid.row_members(row))
+            if sub is not None:
+                my_row_comm = sub
+        for col in range(pc):
+            sub = yield from comm.create_sub(grid.col_members(col))
+            if sub is not None:
+                my_col_comm = sub
+        if grid_comm is None:
+            return None
+        assert my_row_comm is not None and my_col_comm is not None
+        return BlacsContext(grid_comm, grid, my_row_comm, my_col_comm)
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def nprow(self) -> int:
+        return self.grid.pr
+
+    @property
+    def npcol(self) -> int:
+        return self.grid.pc
+
+    def exit(self) -> None:
+        """Leave the context (further use is a programming error)."""
+        self._alive = False
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise MPIError("operation on an exited BLACS context")
+
+    # -- grid-scoped communication (the BLACS verbs ScaLAPACK needs) -------
+    def row_bcast(self, payload, root_col: int) -> Generator:
+        """Broadcast within my grid row from column ``root_col``."""
+        self._check_alive()
+        result = yield from self.row_comm.bcast(payload, root=root_col)
+        return result
+
+    def col_bcast(self, payload, root_row: int) -> Generator:
+        """Broadcast within my grid column from row ``root_row``."""
+        self._check_alive()
+        result = yield from self.col_comm.bcast(payload, root=root_row)
+        return result
+
+    def barrier(self) -> Generator:
+        self._check_alive()
+        yield from self.comm.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BlacsContext {self.grid.pr}x{self.grid.pc} "
+                f"at ({self.myrow},{self.mycol})>")

@@ -1,0 +1,56 @@
+"""Logical 2-D process grids (row-major, BLACS default ordering)."""
+
+from __future__ import annotations
+
+
+class ProcessGrid:
+    """A ``pr x pc`` grid mapping communicator ranks to coordinates.
+
+    Rank ``r`` sits at row ``r // pc``, column ``r % pc`` — BLACS
+    row-major ordering.  A 1-D process set is a degenerate grid
+    (``1 x p`` or ``p x 1``).
+    """
+
+    def __init__(self, pr: int, pc: int):
+        if pr < 1 or pc < 1:
+            raise ValueError("grid dimensions must be positive")
+        self.pr = pr
+        self.pc = pc
+
+    @property
+    def size(self) -> int:
+        return self.pr * self.pc
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.pr, self.pc)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of ``rank``."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for {self!r}")
+        return rank // self.pc, rank % self.pc
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Communicator rank at grid position ``(row, col)``."""
+        if not (0 <= row < self.pr and 0 <= col < self.pc):
+            raise ValueError(f"coords ({row},{col}) outside {self!r}")
+        return row * self.pc + col
+
+    def row_members(self, row: int) -> list[int]:
+        """Ranks in grid row ``row``, in column order."""
+        return [self.rank_of(row, c) for c in range(self.pc)]
+
+    def col_members(self, col: int) -> list[int]:
+        """Ranks in grid column ``col``, in row order."""
+        return [self.rank_of(r, col) for r in range(self.pr)]
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ProcessGrid) and
+                self.shape == other.shape)
+
+    def __hash__(self) -> int:
+        return hash(("ProcessGrid", self.shape))
+
+    def __repr__(self) -> str:
+        return f"ProcessGrid({self.pr}x{self.pc})"

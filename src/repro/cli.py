@@ -1,0 +1,190 @@
+"""Command-line interface: run reproduction experiments from a shell.
+
+    python -m repro run lu --size 12000 --start 1x2 --procs 36
+    python -m repro workload w1 --iterations 10
+    python -m repro sweep lu --size 8000
+    python -m repro synth --jobs 8 --seed 3 --procs 24
+
+Each subcommand builds the simulated cluster, runs the experiment, and
+prints the same tables the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import run_static
+from repro.cluster.topology import parse_config
+from repro.core import ReshapeFramework
+from repro.core.policies import (
+    ExpansionPolicy,
+    GreedyExpansionPolicy,
+    SweetSpotPolicy,
+    ThresholdSweetSpot,
+)
+from repro.metrics import (
+    format_table,
+    render_allocation_history,
+    turnaround_table,
+)
+from repro.workloads import (
+    WorkloadGenerator,
+    build_workload1,
+    build_workload2,
+    make_application,
+)
+from repro.workloads.paper import (
+    PROCESSOR_CONFIGS,
+    WORKLOAD1_PROCESSORS,
+    WORKLOAD2_PROCESSORS,
+)
+
+
+def _policies(args) -> dict:
+    sweet = (ThresholdSweetSpot(args.threshold) if args.threshold > 0
+             else SweetSpotPolicy())
+    expansion = (GreedyExpansionPolicy() if args.greedy
+                 else ExpansionPolicy())
+    return {"sweet_spot": sweet, "expansion": expansion}
+
+
+def cmd_run(args) -> int:
+    """One resizable job under the framework."""
+    framework = ReshapeFramework(num_processors=args.procs,
+                                 dynamic=not args.static,
+                                 **_policies(args))
+    app = make_application(args.app, args.size,
+                           iterations=args.iterations)
+    job = framework.submit(app, config=parse_config(args.start))
+    framework.run()
+    rows = []
+    prev = None
+    for it, config, t, redist in job.iteration_log:
+        rows.append([it, f"{config[0]}x{config[1]}",
+                     config[0] * config[1], t,
+                     None if prev is None else prev - t, redist])
+        prev = t
+    print(format_table(
+        ["iter", "grid", "procs", "time (s)", "dT (s)", "redist (s)"],
+        rows, title=f"{job.name} under "
+        f"{'static' if args.static else 'dynamic'} scheduling"))
+    print(f"\nturn-around {job.turnaround:.1f} s, "
+          f"redistribution {job.redistribution_time:.1f} s, "
+          f"utilization {framework.utilization():.1%}")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    """The paper's W1/W2 job mixes, static vs dynamic."""
+    builders = {"w1": (build_workload1, WORKLOAD1_PROCESSORS),
+                "w2": (build_workload2, WORKLOAD2_PROCESSORS)}
+    build, procs = builders[args.which]
+    results = {}
+    for dynamic in (False, True):
+        fw = ReshapeFramework(num_processors=procs, dynamic=dynamic)
+        jobs = build(fw, iterations=args.iterations)
+        fw.run()
+        results[dynamic] = (fw, jobs)
+    fw_s, jobs_s = results[False]
+    fw_d, jobs_d = results[True]
+    print(render_allocation_history(fw_d.timeline))
+    print()
+    print(turnaround_table(jobs_s, jobs_d,
+                           title=f"{args.which.upper()} turn-around"))
+    print(f"\nutilization: static {fw_s.utilization():.1%}, "
+          f"dynamic {fw_d.utilization():.1%}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Static iteration time at every legal configuration (Fig 2a)."""
+    key = (args.app.upper() if args.app != "mm" else "MM", args.size)
+    configs = PROCESSOR_CONFIGS.get(key)
+    if configs is None:
+        app0 = make_application(args.app, args.size, iterations=1)
+        configs = app0.legal_configs(args.procs)
+    rows = []
+    for config in configs:
+        if config[0] * config[1] > args.procs:
+            continue
+        app = make_application(args.app, args.size, iterations=1)
+        result = run_static(app, config)
+        rows.append([f"{config[0]}x{config[1]}",
+                     config[0] * config[1],
+                     result.mean_iteration_time])
+    print(format_table(["grid", "procs", "iteration time (s)"], rows,
+                       title=f"{args.app}({args.size}) scaling sweep"))
+    return 0
+
+
+def cmd_synth(args) -> int:
+    """A synthetic job mix through the scheduler."""
+    gen = WorkloadGenerator(seed=args.seed,
+                            mean_interarrival=args.interarrival,
+                            max_initial=min(16, args.procs))
+    specs = gen.generate(args.jobs)
+    fw = ReshapeFramework(num_processors=args.procs,
+                          dynamic=not args.static)
+    jobs = gen.submit_all(fw, specs, iterations=args.iterations)
+    fw.run()
+    rows = [[name, j.requested_size, j.arrival_time, j.turnaround]
+            for name, j in jobs.items()]
+    print(format_table(["job", "initial", "arrival (s)",
+                        "turn-around (s)"], rows,
+                       title=f"synthetic mix (seed {args.seed})"))
+    print(f"\nutilization {fw.utilization():.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one resizable job")
+    p_run.add_argument("app", choices=["lu", "mm", "jacobi", "fft",
+                                       "masterworker"])
+    p_run.add_argument("--size", type=int, default=12000)
+    p_run.add_argument("--start", default="1x2",
+                       help="initial grid, e.g. 1x2 or 4")
+    p_run.add_argument("--procs", type=int, default=36)
+    p_run.add_argument("--iterations", type=int, default=10)
+    p_run.add_argument("--static", action="store_true")
+    p_run.add_argument("--threshold", type=float, default=0.0,
+                       help="sweet-spot improvement threshold (0 = "
+                            "paper's any-improvement rule)")
+    p_run.add_argument("--greedy", action="store_true",
+                       help="greedy expansion instead of next-larger")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_wl = sub.add_parser("workload", help="run the paper's W1/W2")
+    p_wl.add_argument("which", choices=["w1", "w2"])
+    p_wl.add_argument("--iterations", type=int, default=10)
+    p_wl.set_defaults(fn=cmd_workload)
+
+    p_sweep = sub.add_parser("sweep", help="static scaling sweep")
+    p_sweep.add_argument("app", choices=["lu", "mm", "jacobi", "fft"])
+    p_sweep.add_argument("--size", type=int, default=12000)
+    p_sweep.add_argument("--procs", type=int, default=50)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_synth = sub.add_parser("synth", help="synthetic workload")
+    p_synth.add_argument("--jobs", type=int, default=6)
+    p_synth.add_argument("--seed", type=int, default=0)
+    p_synth.add_argument("--procs", type=int, default=36)
+    p_synth.add_argument("--iterations", type=int, default=5)
+    p_synth.add_argument("--interarrival", type=float, default=200.0)
+    p_synth.add_argument("--static", action="store_true")
+    p_synth.set_defaults(fn=cmd_synth)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

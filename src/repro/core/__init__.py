@@ -1,0 +1,43 @@
+"""The ReSHAPE application scheduling and monitoring module.
+
+Mirrors the five components of the paper's §3.1 — System Monitor,
+Application Scheduler, Job Startup, Remap Scheduler, Performance
+Profiler — each running as its own simulation process (the paper runs
+each in its own thread), wired together by
+:class:`~repro.core.framework.ReshapeFramework`.
+
+The same framework runs both scheduling modes compared in §4:
+*dynamic* (resizing enabled) and *static* (every resize decision is
+"no change"), so utilization/turnaround comparisons use identical
+machinery.
+"""
+
+from repro.core.events import ConfigChange, JobTimeline, TimelineRecorder
+from repro.core.framework import ReshapeFramework
+from repro.core.job import Job, JobState
+from repro.core.policies import (
+    ExpansionPolicy,
+    SweetSpotPolicy,
+    ThresholdSweetSpot,
+)
+from repro.core.pool import ProcessorPool
+from repro.core.profiler import PerformanceProfiler
+from repro.core.queue import JobQueue
+from repro.core.remap import RemapDecision, RemapScheduler
+
+__all__ = [
+    "ConfigChange",
+    "ExpansionPolicy",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "JobTimeline",
+    "PerformanceProfiler",
+    "ProcessorPool",
+    "RemapDecision",
+    "RemapScheduler",
+    "ReshapeFramework",
+    "SweetSpotPolicy",
+    "ThresholdSweetSpot",
+    "TimelineRecorder",
+]

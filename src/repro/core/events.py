@@ -1,0 +1,116 @@
+"""Timeline recording: the raw material of Figures 4 and 5.
+
+The recorder stores configuration changes per job; from those it derives
+the processor-allocation history of each job (Fig 4a/5a), the total
+busy-processor curve (Fig 4b/5b) and the utilization percentage the
+paper quotes (assigned cpu-seconds over available cpu-seconds).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """One job's processor count changing at an instant."""
+
+    time: float
+    job_id: int
+    job_name: str
+    nprocs: int          # processor count after the change (0 = job done)
+    config: Optional[tuple[int, int]]
+    reason: str          # "start" | "expand" | "shrink" | "finish"
+
+
+@dataclass
+class JobTimeline:
+    """Step function of one job's processor allocation over time."""
+
+    job_id: int
+    job_name: str
+    points: list[tuple[float, int]] = field(default_factory=list)
+
+    def add(self, time: float, nprocs: int) -> None:
+        if self.points and self.points[-1][0] == time:
+            self.points[-1] = (time, nprocs)
+        else:
+            self.points.append((time, nprocs))
+
+    def nprocs_at(self, time: float) -> int:
+        """Allocation at ``time`` (0 before start / after finish)."""
+        if not self.points or time < self.points[0][0]:
+            return 0
+        idx = bisect.bisect_right([t for t, _ in self.points], time) - 1
+        return self.points[idx][1]
+
+    @property
+    def start(self) -> float:
+        return self.points[0][0] if self.points else 0.0
+
+    @property
+    def end(self) -> float:
+        return self.points[-1][0] if self.points else 0.0
+
+    def cpu_seconds(self) -> float:
+        """Integral of the allocation step function."""
+        total = 0.0
+        for (t0, n0), (t1, _n1) in zip(self.points, self.points[1:]):
+            total += n0 * (t1 - t0)
+        return total
+
+
+class TimelineRecorder:
+    """Collects :class:`ConfigChange` events for a whole experiment."""
+
+    def __init__(self):
+        self.changes: list[ConfigChange] = []
+
+    def record(self, time: float, job_id: int, job_name: str, nprocs: int,
+               config: Optional[tuple[int, int]], reason: str) -> None:
+        self.changes.append(ConfigChange(time=time, job_id=job_id,
+                                         job_name=job_name, nprocs=nprocs,
+                                         config=config, reason=reason))
+
+    # -- derived series ------------------------------------------------------
+    def job_timelines(self) -> dict[int, JobTimeline]:
+        out: dict[int, JobTimeline] = {}
+        for ch in sorted(self.changes, key=lambda c: c.time):
+            tl = out.setdefault(ch.job_id,
+                                JobTimeline(ch.job_id, ch.job_name))
+            tl.add(ch.time, ch.nprocs)
+        return out
+
+    def busy_processors(self) -> list[tuple[float, int]]:
+        """Total allocated processors as a step function over time."""
+        deltas: dict[float, int] = {}
+        for tl in self.job_timelines().values():
+            prev = 0
+            for t, n in tl.points:
+                deltas[t] = deltas.get(t, 0) + (n - prev)
+                prev = n
+        series = []
+        level = 0
+        for t in sorted(deltas):
+            level += deltas[t]
+            series.append((t, level))
+        return series
+
+    def makespan(self) -> float:
+        if not self.changes:
+            return 0.0
+        times = [c.time for c in self.changes]
+        return max(times) - min(times)
+
+    def utilization(self, total_processors: int,
+                    horizon: Optional[float] = None) -> float:
+        """Assigned cpu-seconds over available cpu-seconds (paper's metric)."""
+        if total_processors <= 0:
+            return 0.0
+        span = horizon if horizon is not None else self.makespan()
+        if span <= 0:
+            return 0.0
+        busy = sum(tl.cpu_seconds() for tl in self.job_timelines().values())
+        return busy / (total_processors * span)

@@ -1,0 +1,194 @@
+"""The ReSHAPE framework: wiring of scheduler, monitor, pool and jobs.
+
+One object owns a simulated machine and runs a whole experiment:
+
+    fw = ReshapeFramework(num_processors=36)
+    fw.submit(LUApplication(21000), config=(2, 3), arrival=0.0)
+    fw.submit(JacobiApplication(8000), config=(4, 1), arrival=465.0)
+    fw.run()
+
+With ``dynamic=False`` the identical machinery performs the paper's
+*static scheduling* baseline (every remap decision is "no change"), so
+Table 4/5 comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import Application
+from repro.blacs import ProcessGrid
+from repro.cluster.machine import Machine, MachineSpec
+from repro.core.events import TimelineRecorder
+from repro.core.job import Job, JobState
+from repro.core.monitor import SystemMonitor
+from repro.core.policies import ExpansionPolicy, SweetSpotPolicy
+from repro.core.pool import ProcessorPool
+from repro.core.profiler import PerformanceProfiler
+from repro.core.queue import JobQueue
+from repro.core.remap import RemapDecision, RemapScheduler
+from repro.mpi import World
+from repro.simulate import Environment, Event
+
+
+class ReshapeFramework:
+    """Application scheduling and monitoring module (paper §3.1)."""
+
+    def __init__(self, *,
+                 env: Optional[Environment] = None,
+                 spec: Optional[MachineSpec] = None,
+                 machine: Optional[Machine] = None,
+                 num_processors: Optional[int] = None,
+                 dynamic: bool = True,
+                 backfill: bool = True,
+                 sweet_spot: Optional[SweetSpotPolicy] = None,
+                 expansion: Optional[ExpansionPolicy] = None,
+                 redistribution_method: str = "reshape",
+                 rpc_latency: float = 2e-3):
+        self.env = env or Environment()
+        self.machine = machine or Machine(self.env, spec or MachineSpec())
+        total = num_processors or self.machine.total_processors
+        if total > self.machine.total_processors:
+            raise ValueError("num_processors exceeds the machine")
+        self.pool = ProcessorPool(total)
+        self.queue = JobQueue(backfill=backfill)
+        self.profiler = PerformanceProfiler()
+        self.remap = RemapScheduler(self.pool, self.queue, self.profiler,
+                                    max_procs=total, dynamic=dynamic,
+                                    sweet_spot=sweet_spot,
+                                    expansion=expansion)
+        self.monitor = SystemMonitor(self.pool,
+                                     on_resources_freed=self._wake)
+        self.world = World(self.env, self.machine)
+        self.timeline = TimelineRecorder()
+        self.dynamic = dynamic
+        if redistribution_method not in ("reshape", "checkpoint"):
+            raise ValueError(f"unknown redistribution method "
+                             f"{redistribution_method!r}")
+        self.redistribution_method = redistribution_method
+        #: Cost of one application <-> scheduler message exchange.
+        self.rpc_latency = rpc_latency
+        self.jobs: list[Job] = []
+        self._wake_event: Optional[Event] = None
+        self.env.process(self._application_scheduler(),
+                         name="application-scheduler")
+
+    # ------------------------------------------------------------------
+    # Submission and the Application Scheduler thread
+    # ------------------------------------------------------------------
+    def submit(self, app: Application, config: tuple[int, int], *,
+               arrival: float = 0.0, name: Optional[str] = None,
+               priority: int = 0) -> Job:
+        """Submit ``app`` to arrive at ``arrival`` requesting ``config``."""
+        job = Job(app=app, initial_config=tuple(config),
+                  arrival_time=arrival, name=name, priority=priority)
+        if job.requested_size > self.pool.total:
+            raise ValueError(f"job {job.name} requests "
+                             f"{job.requested_size} processors; the "
+                             f"experiment has {self.pool.total}")
+        self.jobs.append(job)
+        self.env.process(self._arrival(job), name=f"arrival:{job.name}")
+        return job
+
+    def _arrival(self, job: Job):
+        delay = job.arrival_time - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        job.state = JobState.QUEUED
+        self.queue.enqueue(job)
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._wake_event is not None and not self._wake_event.triggered:
+            self._wake_event.succeed()
+
+    def _application_scheduler(self):
+        """FCFS/backfill scheduling loop (its own 'thread', as in §3.1)."""
+        while True:
+            self._wake_event = self.env.event()
+            while True:
+                job = self.queue.next_startable(self.pool.free_count)
+                if job is None:
+                    break
+                self._start_job(job)
+            yield self._wake_event
+
+    def _start_job(self, job: Job) -> None:
+        """Job Startup: allocate, build data, launch rank processes."""
+        self.queue.remove(job)
+        processors = self.pool.allocate(job.requested_size, job.job_id)
+        job.processors = processors
+        job.config = job.initial_config
+        job.state = JobState.RUNNING
+        job.start_time = self.env.now
+        grid = ProcessGrid(*job.initial_config)
+        data = job.app.create_data(grid)
+        job.data.clear()
+        job.data.update(data)
+        self.monitor.job_started(job)
+        self.timeline.record(self.env.now, job.job_id, job.name,
+                             job.requested_size, job.config, "start")
+        from repro.api.resize import resizable_main
+        self.world.launch(resizable_main, processors=processors,
+                          args=(self, job), name=job.name)
+
+    # ------------------------------------------------------------------
+    # Callbacks from the resizing library (rank 0 of each job)
+    # ------------------------------------------------------------------
+    def remap_request(self, job: Job, iteration_time: float,
+                      redistribution_time: float) -> RemapDecision:
+        """Resize-point report -> decision (Remap Scheduler)."""
+        return self.remap.decide(job, iteration_time, redistribution_time,
+                                 now=self.env.now)
+
+    def notify_resized(self, job: Job, old_config: tuple[int, int],
+                       new_config: tuple[int, int], action: str, *,
+                       nbytes: int, elapsed: float,
+                       added: Optional[list[int]] = None) -> None:
+        """Resize completed: update ownership, history and the timeline."""
+        self.profiler.record_resize(job.job_id, action, old_config,
+                                    new_config, nbytes, elapsed,
+                                    when=self.env.now)
+        job.redistribution_time += elapsed
+        new_size = new_config[0] * new_config[1]
+        if action == "expand":
+            assert added is not None
+            job.processors = job.processors + list(added)
+        else:
+            freed = job.processors[new_size:]
+            job.processors = job.processors[:new_size]
+            if freed:
+                self.pool.release(freed, job.job_id)
+        job.config = tuple(new_config)
+        self.timeline.record(self.env.now, job.job_id, job.name,
+                             new_size, job.config, action)
+        if action == "shrink":
+            self._wake()
+
+    def job_complete(self, job: Job) -> None:
+        """Job-end signal from the application monitor."""
+        self.timeline.record(self.env.now, job.job_id, job.name, 0,
+                             None, "finish")
+        self.monitor.job_ended(job, self.env.now)
+
+    def job_error(self, job: Job, error: str) -> None:
+        """Job-error signal: delete the job, recover its resources."""
+        self.timeline.record(self.env.now, job.job_id, job.name, 0,
+                             None, "finish")
+        self.monitor.job_failed(job, self.env.now, error=error)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the experiment to completion (or to ``until``)."""
+        self.env.run(until=until)
+
+    # -- result accessors ---------------------------------------------------
+    def turnaround_times(self) -> dict[str, float]:
+        out = {}
+        for job in self.jobs:
+            if job.turnaround is not None:
+                out[job.name] = job.turnaround
+        return out
+
+    def utilization(self) -> float:
+        return self.timeline.utilization(self.pool.total)

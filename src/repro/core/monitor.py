@@ -1,0 +1,56 @@
+"""System Monitor: tracks running jobs and recovers their resources.
+
+"An application monitor is instantiated on every compute node... If an
+application fails due to an internal error or finishes its execution
+successfully, the application monitor sends a job error or a job end
+signal to the System Monitor.  The System Monitor then deletes the job
+and recovers the application's resources."  (§3.1)
+
+In the simulation the per-node application monitors collapse to the
+first-rank callback (the paper itself only has the first node's monitor
+talk to the System Monitor).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.job import Job, JobState
+from repro.core.pool import ProcessorPool
+
+
+class SystemMonitor:
+    """Receives job end/error signals and reclaims processors."""
+
+    def __init__(self, pool: ProcessorPool,
+                 on_resources_freed: Optional[Callable[[], None]] = None):
+        self.pool = pool
+        self.on_resources_freed = on_resources_freed
+        self.running: dict[int, Job] = {}
+        self.finished: list[Job] = []
+        self.failed: list[Job] = []
+
+    def job_started(self, job: Job) -> None:
+        self.running[job.job_id] = job
+
+    def job_ended(self, job: Job, now: float) -> None:
+        """Job-end signal from the application monitor on the first node."""
+        self.running.pop(job.job_id, None)
+        job.state = JobState.FINISHED
+        job.end_time = now
+        self.pool.release_all(job.job_id)
+        job.processors = []
+        self.finished.append(job)
+        if self.on_resources_freed:
+            self.on_resources_freed()
+
+    def job_failed(self, job: Job, now: float, error: str = "") -> None:
+        """Job-error signal: delete the job and recover its resources."""
+        self.running.pop(job.job_id, None)
+        job.state = JobState.FAILED
+        job.end_time = now
+        self.pool.release_all(job.job_id)
+        job.processors = []
+        self.failed.append(job)
+        if self.on_resources_freed:
+            self.on_resources_freed()

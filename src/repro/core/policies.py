@@ -1,0 +1,122 @@
+"""Resizing policies: sweet-spot detection and expansion-target choice.
+
+"Our initial implementation of sweet spot detection in ReSHAPE simply
+adds processors as long as they are available and as long as there is
+improvement in iteration time.  If an application grows to a
+configuration that yields no improvement, it is shrunk back to its most
+recent configuration."  (§4.1.1)
+
+The paper also sketches "a more sophisticated sweet spot detection
+algorithm (under development) which uses performance over several
+configurations to detect relative improvements below some required
+threshold" — implemented here as :class:`ThresholdSweetSpot`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.topology import next_larger_config
+from repro.core.profiler import PerformanceProfiler
+
+
+class SweetSpotPolicy:
+    """The paper's simple rule: any improvement justifies growing."""
+
+    def expansion_worthwhile(self, profiler: PerformanceProfiler,
+                             job_id: int,
+                             current: tuple[int, int]) -> bool:
+        """May the job expand further, judged from its history?
+
+        True when the job has never expanded, or its most recent
+        expansion improved the iteration time.  A job shrunk back after
+        a regretted expansion therefore stays put (the paper holds LU at
+        12 processors for its remaining iterations in Fig 3a).
+        """
+        last = profiler.last_expansion(job_id)
+        if last is None:
+            return True
+        then_time = profiler.mean_time(job_id, last.from_config)
+        now_time = profiler.mean_time(job_id, last.to_config)
+        if now_time is None or then_time is None:
+            return True
+        return self._improved(then_time, now_time)
+
+    def expansion_regretted(self, profiler: PerformanceProfiler,
+                            job_id: int,
+                            current: tuple[int, int]) -> bool:
+        """Did the most recent expansion fail to pay off (shrink back)?"""
+        prev = profiler.previous_config(job_id)
+        if prev is None or profiler.last_action(job_id) != "expand":
+            return False
+        now_time = profiler.latest_time(job_id, current)
+        then_time = profiler.mean_time(job_id, prev)
+        if now_time is None or then_time is None:
+            return False
+        return not self._improved(then_time, now_time)
+
+    def _improved(self, before: float, after: float) -> bool:
+        return after < before
+
+    @property
+    def name(self) -> str:
+        return "simple"
+
+
+class ThresholdSweetSpot(SweetSpotPolicy):
+    """Expansion must beat the previous configuration by a margin.
+
+    ``threshold`` is the required relative improvement: 0.05 means a new
+    configuration must be at least 5% faster to be kept.
+    """
+
+    def __init__(self, threshold: float = 0.05):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def _improved(self, before: float, after: float) -> bool:
+        return after < before * (1.0 - self.threshold)
+
+    @property
+    def name(self) -> str:
+        return f"threshold({self.threshold:g})"
+
+
+class ExpansionPolicy:
+    """Chooses the target configuration for an expansion.
+
+    The default picks the next larger legal configuration that fits in
+    the currently idle processors — which, for Table 2 style config
+    lists, is exactly "add processors to the smallest row or column"
+    growth for nearly-square grids.
+    """
+
+    def choose(self, configs: Sequence[tuple[int, int]],
+               current: tuple[int, int],
+               idle: int) -> Optional[tuple[int, int]]:
+        return next_larger_config(configs, current, idle)
+
+    @property
+    def name(self) -> str:
+        return "next-larger"
+
+
+class GreedyExpansionPolicy(ExpansionPolicy):
+    """Ablation variant: jump to the largest configuration that fits."""
+
+    def choose(self, configs: Sequence[tuple[int, int]],
+               current: tuple[int, int],
+               idle: int) -> Optional[tuple[int, int]]:
+        cur = current[0] * current[1]
+        best: Optional[tuple[int, int]] = None
+        for cfg in configs:
+            size = cfg[0] * cfg[1]
+            if size > cur and size - cur <= idle:
+                if best is None or size > best[0] * best[1]:
+                    best = cfg
+        return best
+
+    @property
+    def name(self) -> str:
+        return "greedy"

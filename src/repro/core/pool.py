@@ -1,0 +1,66 @@
+"""The machine's processor pool as the scheduler sees it."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ProcessorPool:
+    """Tracks which machine processors are free versus assigned to jobs.
+
+    The pool hands out the lowest-numbered free processors (the paper's
+    cluster is homogeneous, so identity only matters for node mapping),
+    and supports partial release for shrink operations.
+    """
+
+    def __init__(self, total: int):
+        if total < 1:
+            raise ValueError("pool must have at least one processor")
+        self.total = total
+        self._free: set[int] = set(range(total))
+        self._owner: dict[int, int] = {}  # processor -> job_id
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        return self.total - len(self._free)
+
+    def free_processors(self) -> list[int]:
+        return sorted(self._free)
+
+    def owner_of(self, processor: int) -> Optional[int]:
+        return self._owner.get(processor)
+
+    def processors_of(self, job_id: int) -> list[int]:
+        return sorted(p for p, j in self._owner.items() if j == job_id)
+
+    def allocate(self, count: int, job_id: int) -> list[int]:
+        """Take ``count`` free processors for ``job_id``."""
+        if count < 0:
+            raise ValueError("negative allocation")
+        if count > len(self._free):
+            raise RuntimeError(f"allocation of {count} processors with "
+                               f"only {len(self._free)} free")
+        chosen = sorted(self._free)[:count]
+        for p in chosen:
+            self._free.discard(p)
+            self._owner[p] = job_id
+        return chosen
+
+    def release(self, processors: list[int], job_id: int) -> None:
+        """Return specific processors held by ``job_id`` to the pool."""
+        for p in processors:
+            if self._owner.get(p) != job_id:
+                raise RuntimeError(f"processor {p} not held by job "
+                                   f"{job_id}")
+            del self._owner[p]
+            self._free.add(p)
+
+    def release_all(self, job_id: int) -> list[int]:
+        """Return everything ``job_id`` holds; returns what was freed."""
+        held = self.processors_of(job_id)
+        self.release(held, job_id)
+        return held

@@ -1,0 +1,142 @@
+"""Performance Profiler: per-job, per-configuration performance history.
+
+"The Performance Profiler maintains lists of the various processor sizes
+each application has run on and the performance of the application at
+each of those sizes.  The Profiler also maintains a list of possible
+shrink points of various applications and the anticipated impact on the
+application's performance."  (§3.1)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Optional
+
+from repro.redist.costs import RedistributionCostLog
+
+
+@dataclass
+class ShrinkPoint:
+    """A configuration a job can fall back to, with expected impact."""
+
+    job_id: int
+    config: tuple[int, int]
+    processors_freed: int
+    expected_degradation: float  # seconds added per iteration (>= 0)
+
+
+@dataclass
+class _JobHistory:
+    """Everything the profiler knows about one job."""
+
+    #: iteration times observed at each configuration.
+    times: dict[tuple[int, int], list[float]] = \
+        field(default_factory=lambda: defaultdict(list))
+    #: configurations in first-visited order (shrink candidates).
+    visited: list[tuple[int, int]] = field(default_factory=list)
+    #: the configuration before the most recent resize, if any.
+    previous_config: Optional[tuple[int, int]] = None
+    #: what the last resize did: "expand", "shrink" or None.
+    last_action: Optional[str] = None
+    redistribution: RedistributionCostLog = \
+        field(default_factory=RedistributionCostLog)
+
+
+class PerformanceProfiler:
+    """Collects resize-point reports and answers policy questions."""
+
+    def __init__(self):
+        self._jobs: dict[int, _JobHistory] = defaultdict(_JobHistory)
+
+    # -- recording ----------------------------------------------------------
+    def record_iteration(self, job_id: int, config: tuple[int, int],
+                         iteration_time: float) -> None:
+        hist = self._jobs[job_id]
+        config = tuple(config)
+        hist.times[config].append(iteration_time)
+        if config not in hist.visited:
+            hist.visited.append(config)
+
+    def record_resize(self, job_id: int, action: str,
+                      old_config: tuple[int, int],
+                      new_config: tuple[int, int],
+                      nbytes: int, elapsed: float, when: float) -> None:
+        hist = self._jobs[job_id]
+        hist.previous_config = tuple(old_config)
+        hist.last_action = action
+        hist.redistribution.record(old_config, new_config, nbytes,
+                                   elapsed, when)
+
+    def forget(self, job_id: int) -> None:
+        self._jobs.pop(job_id, None)
+
+    # -- queries ------------------------------------------------------------
+    def mean_time(self, job_id: int,
+                  config: tuple[int, int]) -> Optional[float]:
+        times = self._jobs[job_id].times.get(tuple(config))
+        if not times:
+            return None
+        return fmean(times)
+
+    def latest_time(self, job_id: int,
+                    config: tuple[int, int]) -> Optional[float]:
+        times = self._jobs[job_id].times.get(tuple(config))
+        if not times:
+            return None
+        return times[-1]
+
+    def visited_configs(self, job_id: int) -> list[tuple[int, int]]:
+        return list(self._jobs[job_id].visited)
+
+    def previous_config(self, job_id: int) -> Optional[tuple[int, int]]:
+        return self._jobs[job_id].previous_config
+
+    def last_action(self, job_id: int) -> Optional[str]:
+        return self._jobs[job_id].last_action
+
+    def has_expanded(self, job_id: int) -> bool:
+        """Has this job ever been grown beyond a configuration?"""
+        return self.last_expansion(job_id) is not None
+
+    def last_expansion(self, job_id: int):
+        """Most recent expansion record (from/to configs), or None."""
+        for rec in reversed(self._jobs[job_id].redistribution.records):
+            if _size(rec.to_config) > _size(rec.from_config):
+                return rec
+        return None
+
+    def redistribution_log(self, job_id: int) -> RedistributionCostLog:
+        return self._jobs[job_id].redistribution
+
+    def shrink_points(self, job_id: int,
+                      current: tuple[int, int]) -> list[ShrinkPoint]:
+        """Configurations this job may shrink to, smallest-loss first.
+
+        "Applications can only shrink to processor configurations on
+        which they have previously run."  Expected degradation is the
+        difference of mean iteration times (0 when unknown).
+        """
+        hist = self._jobs[job_id]
+        cur_size = _size(current)
+        cur_time = self.mean_time(job_id, current)
+        points = []
+        for config in hist.visited:
+            size = _size(config)
+            if size >= cur_size:
+                continue
+            then = self.mean_time(job_id, config)
+            degradation = 0.0
+            if then is not None and cur_time is not None:
+                degradation = max(0.0, then - cur_time)
+            points.append(ShrinkPoint(job_id=job_id, config=config,
+                                      processors_freed=cur_size - size,
+                                      expected_degradation=degradation))
+        # Prefer freeing fewer processors (less disruption) first.
+        points.sort(key=lambda sp: sp.processors_freed)
+        return points
+
+
+def _size(config: tuple[int, int]) -> int:
+    return config[0] * config[1]

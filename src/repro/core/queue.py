@@ -1,0 +1,74 @@
+"""Job queue with FCFS and simple backfill.
+
+"Our current implementation supports two basic resource allocation
+policies, First Come First Served (FCFS) and simple backfill."  (§3.1)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.job import Job
+
+
+class JobQueue:
+    """Arrival-ordered queue of jobs waiting for processors."""
+
+    def __init__(self, *, backfill: bool = True):
+        self.backfill = backfill
+        self._queue: deque[Job] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(self, job: Job) -> None:
+        """Insert preserving (priority desc, arrival order).
+
+        Equal-priority jobs stay FCFS; a higher-priority job jumps ahead
+        of lower-priority ones but never ahead of its equals.
+        """
+        idx = len(self._queue)
+        for i, queued in enumerate(self._queue):
+            if queued.priority < job.priority:
+                idx = i
+                break
+        self._queue.insert(idx, job)
+
+    def head(self) -> Optional[Job]:
+        return self._queue[0] if self._queue else None
+
+    def next_startable(self, free: int) -> Optional[Job]:
+        """The next job that can start on ``free`` processors.
+
+        FCFS: only the head may start.  With backfill, a later job small
+        enough for the free processors may jump ahead (simple backfill —
+        no reservation bookkeeping, as in the paper's prototype).
+        """
+        if not self._queue:
+            return None
+        head = self._queue[0]
+        if head.requested_size <= free:
+            return head
+        if self.backfill:
+            for job in list(self._queue)[1:]:
+                if job.requested_size <= free:
+                    return job
+        return None
+
+    def remove(self, job: Job) -> None:
+        self._queue.remove(job)
+
+    def needed_for_head(self, free: int) -> int:
+        """Extra processors the head job needs beyond what is free."""
+        head = self.head()
+        if head is None:
+            return 0
+        return max(0, head.requested_size - free)

@@ -1,0 +1,76 @@
+"""Block-cyclic index arithmetic (the ScaLAPACK TOOLS routines).
+
+All functions work on one dimension at a time; 2-D layouts apply them to
+rows and columns independently.  Conventions match ScaLAPACK: ``n``
+global elements in blocks of ``nb``, dealt round-robin to ``nprocs``
+processes starting at process ``isrc``.
+"""
+
+from __future__ import annotations
+
+
+def numroc(n: int, nb: int, iproc: int, isrc: int, nprocs: int) -> int:
+    """NUMber of Rows Or Columns owned locally by process ``iproc``.
+
+    Faithful port of ScaLAPACK's ``NUMROC``.
+    """
+    if n < 0 or nb < 1 or nprocs < 1:
+        raise ValueError("bad numroc arguments")
+    if not 0 <= iproc < nprocs or not 0 <= isrc < nprocs:
+        raise ValueError("process index out of range")
+    mydist = (nprocs + iproc - isrc) % nprocs
+    nblocks = n // nb
+    count = (nblocks // nprocs) * nb
+    extra = nblocks % nprocs
+    if mydist < extra:
+        count += nb
+    elif mydist == extra:
+        count += n % nb
+    return count
+
+
+def block_owner(block: int, isrc: int, nprocs: int) -> int:
+    """Process owning global block index ``block``."""
+    if block < 0:
+        raise ValueError("negative block index")
+    return (block + isrc) % nprocs
+
+
+def global_to_local(gindex: int, nb: int, isrc: int,
+                    nprocs: int) -> tuple[int, int]:
+    """Map a global element index to ``(owner_process, local_index)``."""
+    if gindex < 0:
+        raise ValueError("negative global index")
+    block = gindex // nb
+    owner = block_owner(block, isrc, nprocs)
+    local_block = block // nprocs
+    return owner, local_block * nb + gindex % nb
+
+
+def local_to_global(lindex: int, iproc: int, nb: int, isrc: int,
+                    nprocs: int) -> int:
+    """Map a local element index on ``iproc`` back to its global index."""
+    if lindex < 0:
+        raise ValueError("negative local index")
+    local_block = lindex // nb
+    mydist = (nprocs + iproc - isrc) % nprocs
+    gblock = local_block * nprocs + mydist
+    return gblock * nb + lindex % nb
+
+
+def local_blocks(n: int, nb: int, iproc: int, isrc: int,
+                 nprocs: int) -> list[tuple[int, int, int]]:
+    """Blocks owned by ``iproc``: list of ``(gblock, gstart, length)``.
+
+    ``gstart`` is the first global element of the block; ``length`` is
+    the block's extent (the trailing block may be short).
+    """
+    out = []
+    nblocks = (n + nb - 1) // nb
+    mydist = (nprocs + iproc - isrc) % nprocs
+    for gblock in range(mydist, nblocks, nprocs):
+        gstart = gblock * nb
+        length = min(nb, n - gstart)
+        if length > 0:
+            out.append((gblock, gstart, length))
+    return out

@@ -1,0 +1,138 @@
+"""Distributed matrices: descriptor + per-rank local storage.
+
+The simulator is a single OS process, so a :class:`DistributedMatrix`
+holds every rank's local array in one list; rank code only ever touches
+its own entry (``local(rank)``), preserving SPMD discipline.  In phantom
+mode the list holds ``None`` and only shapes/bytes are tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.darray.blockcyclic import local_blocks
+from repro.darray.descriptor import Descriptor
+
+
+class DistributedMatrix:
+    """A 2-D block-cyclic distributed array.
+
+    ``materialized=True`` allocates a real numpy local array per rank;
+    ``materialized=False`` (phantom) tracks only the layout, which is all
+    the paper-scale simulations need to charge communication time.
+    """
+
+    def __init__(self, desc: Descriptor, *, materialized: bool = True,
+                 dtype=np.float64):
+        self.desc = desc
+        self.materialized = materialized
+        self.dtype = np.dtype(dtype)
+        if materialized:
+            self._locals: list[Optional[np.ndarray]] = [
+                np.zeros(desc.local_shape_of_rank(r), dtype=self.dtype)
+                for r in range(desc.grid.size)
+            ]
+        else:
+            self._locals = [None] * desc.grid.size
+
+    # -- storage access ---------------------------------------------------
+    def local(self, rank: int) -> np.ndarray:
+        """This rank's local array (materialized mode only)."""
+        if not self.materialized:
+            raise RuntimeError("phantom matrix has no local storage")
+        arr = self._locals[rank]
+        assert arr is not None
+        return arr
+
+    def set_local(self, rank: int, array: np.ndarray) -> None:
+        if not self.materialized:
+            raise RuntimeError("phantom matrix has no local storage")
+        expected = self.desc.local_shape_of_rank(rank)
+        if tuple(array.shape) != expected:
+            raise ValueError(f"local array shape {array.shape} != "
+                             f"descriptor shape {expected}")
+        self._locals[rank] = np.ascontiguousarray(array, dtype=self.dtype)
+
+    def local_nbytes(self, rank: int) -> int:
+        prow, pcol = self.desc.grid.coords(rank)
+        return self.desc.local_nbytes(prow, pcol)
+
+    # -- global <-> local (verification paths; not charged to the network) --
+    @classmethod
+    def from_global(cls, global_array: np.ndarray, desc: Descriptor,
+                    ) -> "DistributedMatrix":
+        """Deal a global array out according to ``desc`` (materialized)."""
+        if global_array.shape != (desc.m, desc.n):
+            raise ValueError(f"array shape {global_array.shape} != "
+                             f"({desc.m},{desc.n})")
+        dm = cls(desc, materialized=True, dtype=global_array.dtype)
+        for rank in range(desc.grid.size):
+            prow, pcol = desc.grid.coords(rank)
+            rows = local_blocks(desc.m, desc.mb, prow, desc.rsrc,
+                                desc.grid.pr)
+            cols = local_blocks(desc.n, desc.nb, pcol, desc.csrc,
+                                desc.grid.pc)
+            loc = dm.local(rank)
+            li = 0
+            for _rb, rstart, rlen in rows:
+                lj = 0
+                for _cb, cstart, clen in cols:
+                    loc[li:li + rlen, lj:lj + clen] = \
+                        global_array[rstart:rstart + rlen,
+                                     cstart:cstart + clen]
+                    lj += clen
+                li += rlen
+        return dm
+
+    def to_global(self) -> np.ndarray:
+        """Reassemble the global array (materialized mode only)."""
+        if not self.materialized:
+            raise RuntimeError("cannot gather a phantom matrix")
+        desc = self.desc
+        out = np.zeros((desc.m, desc.n), dtype=self.dtype)
+        for rank in range(desc.grid.size):
+            prow, pcol = desc.grid.coords(rank)
+            rows = local_blocks(desc.m, desc.mb, prow, desc.rsrc,
+                                desc.grid.pr)
+            cols = local_blocks(desc.n, desc.nb, pcol, desc.csrc,
+                                desc.grid.pc)
+            loc = self.local(rank)
+            li = 0
+            for _rb, rstart, rlen in rows:
+                lj = 0
+                for _cb, cstart, clen in cols:
+                    out[rstart:rstart + rlen, cstart:cstart + clen] = \
+                        loc[li:li + rlen, lj:lj + clen]
+                    lj += clen
+                li += rlen
+        return out
+
+    # -- block addressing within local storage ------------------------------
+    def local_block_slices(self, rank: int, brow: int, bcol: int,
+                           ) -> tuple[slice, slice]:
+        """Where global block ``(brow, bcol)`` lives in rank's local array.
+
+        The caller must ensure ``rank`` owns the block.
+        """
+        desc = self.desc
+        if desc.rsrc != 0 or desc.csrc != 0:
+            raise NotImplementedError(
+                "block addressing assumes rsrc == csrc == 0")
+        prow, pcol = desc.grid.coords(rank)
+        own = desc.owner_of_block(brow, bcol)
+        if own != (prow, pcol):
+            raise ValueError(f"block ({brow},{bcol}) owned by {own}, "
+                             f"not ({prow},{pcol})")
+        lrow_block = brow // desc.grid.pr
+        lcol_block = bcol // desc.grid.pc
+        rstart = lrow_block * desc.mb
+        cstart = lcol_block * desc.nb
+        rlen = min(desc.mb, desc.m - brow * desc.mb)
+        clen = min(desc.nb, desc.n - bcol * desc.nb)
+        return slice(rstart, rstart + rlen), slice(cstart, cstart + clen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "materialized" if self.materialized else "phantom"
+        return f"<DistributedMatrix {self.desc} {mode}>"

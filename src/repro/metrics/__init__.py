@@ -1,0 +1,17 @@
+"""Result accounting and rendering for the reproduction experiments."""
+
+from repro.metrics.report import (
+    ascii_step_chart,
+    format_table,
+    render_allocation_history,
+    render_busy_processors,
+    turnaround_table,
+)
+
+__all__ = [
+    "ascii_step_chart",
+    "format_table",
+    "render_allocation_history",
+    "render_busy_processors",
+    "turnaround_table",
+]

@@ -1,0 +1,115 @@
+"""Table and ASCII-chart renderers for experiment output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable in a
+terminal (the closest a text harness gets to regenerating a figure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.events import TimelineRecorder
+from repro.core.job import Job
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(["" if v is None else
+                      (f"{v:.2f}" if isinstance(v, float) else str(v))
+                      for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def turnaround_table(static_jobs: dict[str, Job],
+                     dynamic_jobs: dict[str, Job],
+                     title: str = "Job turn-around time") -> str:
+    """Render a Table 4/5-shaped comparison."""
+    rows = []
+    for name in static_jobs:
+        s = static_jobs[name]
+        d = dynamic_jobs.get(name)
+        s_ta = s.turnaround or float("nan")
+        d_ta = (d.turnaround if d and d.turnaround is not None
+                else float("nan"))
+        rows.append([name, s.requested_size, s_ta, d_ta, s_ta - d_ta])
+    headers = ["Job", "Initial procs", "Static (s)", "Dynamic (s)",
+               "Difference (s)"]
+    return format_table(headers, rows, title=title)
+
+
+def ascii_step_chart(series: dict[str, list[tuple[float, float]]], *,
+                     width: int = 72, height: int = 16,
+                     xlabel: str = "time (s)",
+                     ylabel: str = "procs",
+                     t_max: Optional[float] = None) -> str:
+    """Plot step-function series as an ASCII chart (one glyph per series)."""
+    if not series:
+        return "(empty chart)"
+    glyphs = "*o+x#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return "(empty chart)"
+    tmax = t_max or max(t for t, _ in all_points) or 1.0
+    vmax = max(v for _, v in all_points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def value_at(pts, t):
+        current = 0.0
+        for pt, pv in pts:
+            if pt <= t:
+                current = pv
+            else:
+                break
+        return current
+
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        pts = sorted(pts)
+        for col in range(width):
+            t = tmax * col / (width - 1)
+            v = value_at(pts, t)
+            if v <= 0:
+                continue
+            row = height - 1 - int((height - 1) * min(v, vmax) / vmax)
+            grid[row][col] = glyph
+    lines = [f"{ylabel} (max {vmax:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + f"> {xlabel} (max {tmax:.0f})")
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_allocation_history(timeline: TimelineRecorder, *,
+                              width: int = 72, height: int = 14) -> str:
+    """Figure 4(a)/5(a): per-job processor allocation over time."""
+    series = {}
+    for tl in timeline.job_timelines().values():
+        series[tl.job_name] = [(t, float(n)) for t, n in tl.points]
+    return ascii_step_chart(series, width=width, height=height)
+
+
+def render_busy_processors(static_tl: TimelineRecorder,
+                           dynamic_tl: TimelineRecorder, *,
+                           width: int = 72, height: int = 14) -> str:
+    """Figure 4(b)/5(b): total busy processors, static vs dynamic."""
+    series = {
+        "static": [(t, float(n)) for t, n in static_tl.busy_processors()],
+        "dynamic": [(t, float(n)) for t, n in dynamic_tl.busy_processors()],
+    }
+    return ascii_step_chart(series, width=width, height=height)

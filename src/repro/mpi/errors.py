@@ -1,0 +1,5 @@
+"""MPI-layer error type."""
+
+
+class MPIError(RuntimeError):
+    """Raised for communicator misuse (bad ranks, tags, payloads...)."""

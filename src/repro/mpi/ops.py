@@ -1,0 +1,42 @@
+"""Reduction operators for reduce/allreduce.
+
+Operators work on real numpy arrays and scalars, and pass phantom
+payloads through unchanged (a reduction does not change the buffer size,
+which is all a phantom knows).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mpi.datatypes import Phantom
+from repro.mpi.errors import MPIError
+
+
+class ReduceOp:
+    """A named, associative binary reduction operator."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]):
+        self.name = name
+        self._fn = fn
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        if isinstance(a, Phantom) or isinstance(b, Phantom):
+            pa = a if isinstance(a, Phantom) else b
+            pb = b if isinstance(b, Phantom) else a
+            if isinstance(pa, Phantom) and isinstance(pb, Phantom) \
+                    and pa.nbytes != pb.nbytes:
+                raise MPIError("phantom reduction with mismatched sizes")
+            return Phantom(pa.nbytes)
+        return self._fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ReduceOp {self.name}>"
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b)
+PROD = ReduceOp("prod", lambda a, b: a * b)
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b))
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b))

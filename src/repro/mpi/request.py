@@ -1,0 +1,82 @@
+"""Nonblocking and persistent request handles."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.mpi.errors import MPIError
+from repro.simulate import Environment, Process
+
+
+class Request:
+    """Handle to an in-flight nonblocking operation.
+
+    Wraps the simulation process performing the transfer.  ``wait`` is a
+    generator (``yield from req.wait()``); ``test`` polls.
+    """
+
+    def __init__(self, env: Environment, process: Process):
+        self.env = env
+        self._process = process
+
+    def wait(self) -> Generator:
+        """Block until the operation completes; returns its value."""
+        value = yield self._process
+        return value
+
+    def test(self) -> tuple[bool, Optional[Any]]:
+        """Non-blocking completion check: ``(done, value_or_None)``."""
+        if self._process.is_alive:
+            return False, None
+        return True, self._process.value
+
+    @property
+    def done(self) -> bool:
+        return not self._process.is_alive
+
+
+def wait_all(requests: list[Request]) -> Generator:
+    """Wait for every request; returns their values in order."""
+    values = []
+    for req in requests:
+        value = yield from req.wait()
+        values.append(value)
+    return values
+
+
+class PersistentRequest:
+    """A reusable send or receive, mirroring ``MPI_Send_init`` and friends.
+
+    The paper's redistribution library transfers data "using MPI's
+    persistent communication functions"; in a simulation the saved cost is
+    per-call setup, modeled here as zero, so persistence is about API
+    fidelity: build once, ``start`` each communication step, ``wait``.
+    """
+
+    def __init__(self, comm, kind: str, peer: int, tag: int):
+        if kind not in ("send", "recv"):
+            raise MPIError(f"unknown persistent request kind {kind!r}")
+        self.comm = comm
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self._active: Optional[Request] = None
+        self._payload: Any = None
+
+    def start(self, payload: Any = None) -> "PersistentRequest":
+        """Begin one communication using this request's fixed envelope."""
+        if self._active is not None and not self._active.done:
+            raise MPIError("persistent request restarted while active")
+        if self.kind == "send":
+            self._active = self.comm.isend(payload, dest=self.peer,
+                                           tag=self.tag)
+        else:
+            self._active = self.comm.irecv(source=self.peer, tag=self.tag)
+        return self
+
+    def wait(self) -> Generator:
+        if self._active is None:
+            raise MPIError("wait() before start()")
+        value = yield from self._active.wait()
+        self._active = None
+        return value

@@ -1,0 +1,14 @@
+"""Receive status, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """Metadata of a received message."""
+
+    source: int
+    tag: int
+    nbytes: int

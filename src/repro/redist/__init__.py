@@ -1,0 +1,65 @@
+"""Block-cyclic data redistribution — ReSHAPE's resizing-library core.
+
+The paper redistributes block-cyclic arrays between processor sets
+"organized in a 1-D (row or column format) or checkerboard processor
+topology", extending the 1-D algorithm of Park, Prasanna & Raghavendra
+(IEEE TPDS 1999).  Three ideas from that algorithm are reproduced here:
+
+1. **Table-based index computation** (:mod:`repro.redist.tables`): the
+   initial and final layouts are tabulated per communication class — all
+   blocks sharing a (source, destination) pair — so each class becomes
+   one aggregated message.
+2. **Contention-free schedule** (:mod:`repro.redist.schedule`): classes
+   are arranged into steps forming partial permutations (every processor
+   sends at most one and receives at most one message per step), derived
+   from the generalized-circulant structure of the block-cyclic mapping.
+   A bipartite edge-coloring fallback covers layouts without the
+   circulant structure, and a deliberately naive single-step schedule is
+   kept for ablation.
+3. **Checkerboard extension** (:mod:`repro.redist.redistribute`): 2-D
+   redistributions compose the row and column 1-D schedules; the driver
+   executes either over the simulated MPI layer with message aggregation
+   and persistent-style transfers.
+
+:mod:`repro.redist.checkpoint` implements the paper's comparator — file
+based checkpoint/restart through a single node — and
+:mod:`repro.redist.costs` the framework's record of observed
+redistribution costs (used by the Remap Scheduler to weigh resizings).
+"""
+
+from repro.redist.checkpoint import checkpoint_redistribute
+from repro.redist.costs import RedistributionCostLog, RedistributionRecord
+from repro.redist.redistribute import RedistributionResult, redistribute
+from repro.redist.schedule import (
+    Message1D,
+    Message2D,
+    Schedule1D,
+    Schedule2D,
+    build_1d_schedule,
+    build_2d_schedule,
+    build_naive_1d_schedule,
+    edge_coloring_schedule,
+    verify_schedule_complete,
+    verify_schedule_contention_free,
+)
+from repro.redist.tables import build_class_table, crt_block_classes
+
+__all__ = [
+    "Message1D",
+    "Message2D",
+    "RedistributionCostLog",
+    "RedistributionRecord",
+    "RedistributionResult",
+    "Schedule1D",
+    "Schedule2D",
+    "build_1d_schedule",
+    "build_2d_schedule",
+    "build_class_table",
+    "build_naive_1d_schedule",
+    "checkpoint_redistribute",
+    "crt_block_classes",
+    "edge_coloring_schedule",
+    "redistribute",
+    "verify_schedule_complete",
+    "verify_schedule_contention_free",
+]

@@ -1,0 +1,106 @@
+"""Recorded redistribution costs and cost prediction.
+
+"...with ReSHAPE we save a record of actual redistribution costs between
+various processor configurations, which allows for more informed
+decisions."  (§4.1.2)
+
+:class:`RedistributionCostLog` is that record.  The paper also points at
+prediction of unseen costs (Wolski et al., ref [21]); the
+:meth:`~RedistributionCostLog.predict` extension estimates a resize the
+framework has not performed yet from a volume/bandwidth model fitted to
+the observations so far.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RedistributionRecord:
+    """One observed redistribution."""
+
+    from_config: tuple[int, int]
+    to_config: tuple[int, int]
+    nbytes: int
+    elapsed: float
+    when: float
+
+
+def _moved_fraction(p: int, q: int) -> float:
+    """Fraction of block-cyclic data that changes processor from p to q.
+
+    Over one period ``L = lcm(p, q)`` a block stays put when its residues
+    agree on the shared physical processor — for nested expansions
+    (``p | q`` or ``q | p``) that is ``min(p, q) / max(p, q)`` of blocks
+    ... computed exactly by counting residue agreements.
+    """
+    L = math.lcm(p, q)
+    stay = sum(1 for g in range(L) if g % p == g % q)
+    return 1.0 - stay / L
+
+
+@dataclass
+class RedistributionCostLog:
+    """History of redistribution costs keyed by (from, to) configuration."""
+
+    records: list[RedistributionRecord] = field(default_factory=list)
+    _by_pair: dict[tuple, list[RedistributionRecord]] = \
+        field(default_factory=lambda: defaultdict(list))
+
+    def record(self, from_config: tuple[int, int], to_config: tuple[int, int],
+               nbytes: int, elapsed: float, when: float) -> None:
+        rec = RedistributionRecord(from_config=tuple(from_config),
+                                   to_config=tuple(to_config),
+                                   nbytes=nbytes, elapsed=elapsed, when=when)
+        self.records.append(rec)
+        self._by_pair[(rec.from_config, rec.to_config)].append(rec)
+
+    def observed(self, from_config: tuple[int, int],
+                 to_config: tuple[int, int]) -> Optional[float]:
+        """Mean observed cost for this exact resize, or None."""
+        recs = self._by_pair.get((tuple(from_config), tuple(to_config)))
+        if not recs:
+            return None
+        return fmean(r.elapsed for r in recs)
+
+    def effective_bandwidth(self) -> Optional[float]:
+        """Fitted bytes-actually-moved per second across all records."""
+        num = 0.0
+        den = 0.0
+        for rec in self.records:
+            p = rec.from_config[0] * rec.from_config[1]
+            q = rec.to_config[0] * rec.to_config[1]
+            moved = rec.nbytes * _moved_fraction(p, q)
+            # The schedule moves data through min(p, q) busiest NICs in
+            # parallel; normalize to per-wire throughput.
+            wires = max(1, min(p, q))
+            num += moved / wires
+            den += rec.elapsed
+        if den <= 0 or num <= 0:
+            return None
+        return num / den
+
+    def predict(self, from_config: tuple[int, int],
+                to_config: tuple[int, int], nbytes: int) -> Optional[float]:
+        """Estimate the cost of an unseen resize.
+
+        Uses the exact-pair mean when available, otherwise scales by data
+        moved / parallel wires at the fitted effective bandwidth.
+        Returns None with no history at all.
+        """
+        exact = self.observed(from_config, to_config)
+        if exact is not None:
+            return exact
+        bw = self.effective_bandwidth()
+        if bw is None:
+            return None
+        p = from_config[0] * from_config[1]
+        q = to_config[0] * to_config[1]
+        moved = nbytes * _moved_fraction(p, q)
+        wires = max(1, min(p, q))
+        return (moved / wires) / bw

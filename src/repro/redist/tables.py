@@ -1,0 +1,85 @@
+"""Table-based index computation for block-cyclic redistribution.
+
+For a 1-D block-cyclic layout with the *same block size* on both sides —
+ReSHAPE's situation, where only the processor count changes — global
+block ``g`` lives on source process ``g mod P`` and must end on
+destination process ``g mod Q``.  The pair ``(g mod P, g mod Q)`` is
+periodic in ``g`` with period ``L = lcm(P, Q)``, and the map from
+``g mod L`` to the pair is a bijection (CRT).  Each residue class modulo
+``L`` is therefore one *communication class*: a (source, destination)
+pair plus the arithmetic progression of blocks it carries.  Classes are
+what the destination-processor table of the paper tabulates, and each
+class becomes a single aggregated message on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockClass:
+    """One communication class of a 1-D redistribution.
+
+    ``blocks`` is the arithmetic progression ``phase, phase+L, ...`` of
+    global block indices below ``nblocks``.
+    """
+
+    src: int
+    dst: int
+    phase: int          # class representative: g ≡ phase (mod L)
+    period: int         # L = lcm(P, Q)
+    nblocks: int        # total global blocks
+
+    @property
+    def blocks(self) -> tuple[int, ...]:
+        return tuple(range(self.phase, self.nblocks, self.period))
+
+    @property
+    def count(self) -> int:
+        if self.phase >= self.nblocks:
+            return 0
+        return 1 + (self.nblocks - 1 - self.phase) // self.period
+
+
+def crt_block_classes(nblocks: int, P: int, Q: int) -> list[BlockClass]:
+    """All non-empty communication classes for a P -> Q redistribution.
+
+    Classes are returned in phase order (0..L-1), skipping phases with no
+    blocks.  Classes where ``src`` and ``dst`` denote the same retained
+    process are *not* skipped here — whether a class is a local copy
+    depends on the physical processor mapping, which the driver knows.
+    """
+    if nblocks < 0 or P < 1 or Q < 1:
+        raise ValueError("bad redistribution parameters")
+    L = math.lcm(P, Q)
+    classes = []
+    for phase in range(min(L, nblocks)):
+        classes.append(BlockClass(src=phase % P, dst=phase % Q,
+                                  phase=phase, period=L, nblocks=nblocks))
+    return classes
+
+
+def build_class_table(nblocks: int, P: int, Q: int) -> dict:
+    """The paper's three tables, as one structure for inspection.
+
+    Returns ``{"initial": ..., "final": ..., "destination": ...}`` where
+    ``initial[g]`` is the source process of block ``g``, ``final[g]`` the
+    destination process, and ``destination[(src, step_row)]`` the
+    destination-processor table entry — the processor that ``src`` sends
+    to in communication step ``step_row`` (None when idle).  This mirrors
+    the paper's tabular presentation; the executable schedule is built in
+    :mod:`repro.redist.schedule`.
+    """
+    from repro.redist.schedule import build_1d_schedule
+
+    initial = [g % P for g in range(nblocks)]
+    final = [g % Q for g in range(nblocks)]
+    schedule = build_1d_schedule(nblocks, P, Q)
+    destination: dict[tuple[int, int], int | None] = {}
+    for step_idx, step in enumerate(schedule.steps):
+        by_src = {msg.src: msg.dst for msg in step}
+        for src in range(P):
+            destination[(src, step_idx)] = by_src.get(src)
+    return {"initial": initial, "final": final, "destination": destination}

@@ -1,0 +1,380 @@
+"""Core discrete-event kernel: environment, events, processes.
+
+The design follows the classic event-queue pattern: a heap of
+``(time, priority, seq, event)`` entries; popping an entry *fires* the
+event, which runs its callbacks; process callbacks advance a generator
+until it yields the next event to wait on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Priority classes for simultaneous events.  URGENT fires before NORMAL at
+#: the same timestamp; used by the kernel for interrupts.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value given to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled to fire at some time), and *processed* (callbacks have run).
+    Waiting is expressed by yielding the event from a process generator.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+        self._scheduled = False
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._value = exception
+        self._ok = False
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires automatically ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self.env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._value = None
+        self._ok = True
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A process *is* an event: it fires when the generator returns (value =
+    return value) or raises (failure).  Other processes can therefore wait
+    on it or interrupt it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self._target is None:
+            raise SimulationError(f"{self.name} cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev.callbacks.append(self._resume)
+        self.env.schedule(interrupt_ev, priority=URGENT)
+        # Deregister from the old target so a later trigger is ignored.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    # -- generator driving --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self._generator.send(event._value)
+                else:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_ev = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_ev = self._generator.throw(
+                            SimulationError(repr(exc)))
+            except StopIteration as stop:
+                self._target = None
+                self._value = stop.value
+                self._ok = True
+                self.env.schedule(self)
+                break
+            except BaseException as err:
+                self._target = None
+                self._value = err
+                self._ok = False
+                if self.callbacks:
+                    self.env.schedule(self)
+                else:
+                    # Nobody is waiting: surface the crash instead of
+                    # swallowing it silently.
+                    self.env._active_proc = None
+                    raise
+                break
+
+            if not isinstance(next_ev, Event):
+                msg = (f"process {self.name!r} yielded {next_ev!r}; "
+                       "processes must yield Event instances")
+                self._generator.throw(SimulationError(msg))
+                continue
+            if next_ev.env is not self.env:
+                raise SimulationError("event belongs to a different Environment")
+
+            if next_ev._processed:
+                # Already fired and delivered: re-deliver its value now.
+                event = next_ev
+                continue
+            # Wait for it.
+            assert next_ev.callbacks is not None
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+            break
+        self.env._active_proc = None
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: fires when ``_check`` says enough children did."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one Environment")
+            if ev._processed:
+                self._on_child(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events
+                if ev._processed and ev._ok}
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every child event has fired successfully."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._count >= 1
+
+
+class Environment:
+    """The simulation world: clock + event queue + process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Enqueue ``event`` to fire at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority,
+                                     self._seq, event))
+
+    # -- factories ------------------------------------------------------------
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- main loop ------------------------------------------------------------
+    def step(self) -> None:
+        """Fire the next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # new waiters see a processed event
+        event._processed = True
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a number (absolute simulated time), an
+        :class:`Event` (run until it fires; returns its value), or ``None``
+        (run to exhaustion).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "queue drained before the awaited event fired")
+                self.step()
+            if not stop._ok and isinstance(stop._value, BaseException):
+                raise stop._value
+            return stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise SimulationError(f"until={deadline} is in the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

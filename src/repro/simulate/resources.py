@@ -1,0 +1,155 @@
+"""Shared-resource primitives built on the event kernel.
+
+``Store`` is an unbounded (or bounded) FIFO channel — the backbone of all
+simulated message queues.  ``Resource`` is a counted lock — used for NIC
+serialization and disk arbitration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.simulate.engine import Environment, Event, SimulationError
+
+
+class StorePut(Event):
+    """Pending put; fires when the item has been accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Pending get; fires with the retrieved item as its value."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO channel with optional capacity and filtered gets.
+
+    Filtered gets (``store.get(lambda item: ...)``) are what make MPI tag
+    and source matching straightforward: each pending receive filters the
+    message queue for matching envelopes.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        return StoreGet(self, filter)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _trigger(self) -> None:
+        """Match pending puts with capacity and pending gets with items."""
+        progress = True
+        while progress:
+            progress = False
+            # Accept puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put_ev = self._put_queue.popleft()
+                self.items.append(put_ev.item)
+                put_ev.succeed()
+                progress = True
+            # Serve gets, respecting filters, preserving FIFO among getters.
+            served: list[StoreGet] = []
+            for get_ev in list(self._get_queue):
+                match_idx = None
+                for idx, item in enumerate(self.items):
+                    if get_ev.filter is None or get_ev.filter(item):
+                        match_idx = idx
+                        break
+                if match_idx is not None:
+                    item = self.items[match_idx]
+                    del self.items[match_idx]
+                    get_ev.succeed(item)
+                    served.append(get_ev)
+                    progress = True
+            for ev in served:
+                self._get_queue.remove(ev)
+
+
+class ResourceRequest(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted lock with FIFO granting.
+
+    ``capacity`` slots; ``request()`` returns an event that fires when a
+    slot is granted; ``release(req)`` frees it.  Used to serialize access
+    to NIC transmit/receive engines so that link contention emerges from
+    the simulation rather than being assumed away.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._queue: deque[ResourceRequest] = deque()
+        self._users: set[ResourceRequest] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> ResourceRequest:
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        if request in self._users:
+            self._users.discard(request)
+            self._trigger()
+        else:
+            # Releasing an ungranted request = cancelling it.
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                raise SimulationError("release of unknown request")
+
+    def _trigger(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.add(req)
+            req.succeed()

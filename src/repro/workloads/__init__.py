@@ -1,0 +1,25 @@
+"""Workload definitions: the paper's experiments and a synthetic generator."""
+
+from repro.workloads.paper import (
+    APPLICATIONS,
+    PROCESSOR_CONFIGS,
+    WORKLOAD1,
+    WORKLOAD2,
+    JobSpec,
+    build_workload1,
+    build_workload2,
+    make_application,
+)
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "APPLICATIONS",
+    "PROCESSOR_CONFIGS",
+    "WORKLOAD1",
+    "WORKLOAD2",
+    "JobSpec",
+    "WorkloadGenerator",
+    "build_workload1",
+    "build_workload2",
+    "make_application",
+]

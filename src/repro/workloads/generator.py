@@ -1,0 +1,79 @@
+"""Synthetic workload generation for throughput studies beyond W1/W2.
+
+The paper evaluates two hand-built job mixes; scheduling research needs
+more.  :class:`WorkloadGenerator` draws job mixes with Poisson arrivals
+and size/kind distributions, deterministically from a seed, so larger
+utilization/throughput sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.topology import config_size
+from repro.workloads.paper import JobSpec, make_application
+
+#: (kind, problem sizes, starting configs) the generator samples from.
+_CATALOG: list[tuple[str, list[int], list[tuple[int, int]]]] = [
+    ("lu", [8000, 12000, 14000, 16000],
+     [(1, 2), (2, 2), (2, 4)]),
+    ("mm", [8000, 12000, 14000],
+     [(2, 2), (2, 4)]),
+    ("jacobi", [8000],
+     [(4, 1), (8, 1)]),
+    ("fft", [4096, 8192],
+     [(2, 1), (4, 1)]),
+    ("masterworker", [20000],
+     [(1, 2), (1, 4)]),
+]
+
+
+@dataclass
+class WorkloadGenerator:
+    """Reproducible random job mixes.
+
+    ``mean_interarrival`` is the Poisson arrival spacing in seconds;
+    ``max_initial`` caps the starting allocation so generated jobs fit
+    the experiment's processor budget.
+    """
+
+    seed: int = 0
+    mean_interarrival: float = 300.0
+    max_initial: int = 16
+    kinds: Optional[Sequence[str]] = None
+
+    def generate(self, count: int) -> list[JobSpec]:
+        if count < 1:
+            raise ValueError("count must be positive")
+        rng = random.Random(self.seed)
+        allowed = set(self.kinds) if self.kinds else None
+        catalog = [entry for entry in _CATALOG
+                   if allowed is None or entry[0] in allowed]
+        if not catalog:
+            raise ValueError("no catalog entries match the kind filter")
+        specs: list[JobSpec] = []
+        clock = 0.0
+        for i in range(count):
+            kind, sizes, configs = rng.choice(catalog)
+            size = rng.choice(sizes)
+            fitting = [c for c in configs
+                       if config_size(c) <= self.max_initial]
+            config = rng.choice(fitting or configs[:1])
+            specs.append(JobSpec(kind=kind, problem_size=size,
+                                 initial_config=config, arrival=clock,
+                                 label=f"{kind}-{i}"))
+            clock += rng.expovariate(1.0 / self.mean_interarrival)
+        return specs
+
+    def submit_all(self, framework, specs: Sequence[JobSpec], *,
+                   iterations: int = 5) -> dict:
+        """Submit generated specs; returns {label: Job}."""
+        jobs = {}
+        for spec in specs:
+            app = spec.build(iterations=iterations)
+            jobs[spec.name] = framework.submit(
+                app, spec.initial_config, arrival=spec.arrival,
+                name=spec.name)
+        return jobs

@@ -1,0 +1,129 @@
+"""Unit tests for the resizing library API (ResizeContext)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LUApplication, MatMulApplication
+from repro.cluster import MachineSpec
+from repro.core import JobState, ReshapeFramework
+from repro.core.policies import GreedyExpansionPolicy, ThresholdSweetSpot
+
+
+def run_lu(dynamic=True, n=480, block=48, iterations=5, procs=16,
+           materialized=True, **fw_kwargs):
+    fw = ReshapeFramework(num_processors=procs,
+                          spec=MachineSpec(num_nodes=max(procs, 8)),
+                          dynamic=dynamic, **fw_kwargs)
+    app = LUApplication(n, block=block, iterations=iterations,
+                        materialized=materialized)
+    job = fw.submit(app, config=(1, 2))
+    fw.run()
+    return fw, job
+
+
+def test_iteration_log_has_one_entry_per_iteration():
+    _fw, job = run_lu(iterations=5)
+    assert [rec[0] for rec in job.iteration_log] == [0, 1, 2, 3, 4]
+
+
+def test_log_records_redistribution_of_previous_resize():
+    _fw, job = run_lu(iterations=5)
+    # Some iteration after the first must carry a redistribution cost.
+    assert any(rec[3] > 0 for rec in job.iteration_log[1:])
+    # The first iteration never does (no resize happened yet).
+    assert job.iteration_log[0][3] == 0.0
+
+
+def test_resize_points_between_iterations_only():
+    """Config can only change between consecutive log entries."""
+    _fw, job = run_lu(iterations=6)
+    for (it1, _c1, _t1, _r1), (it2, _c2, _t2, _r2) in zip(
+            job.iteration_log, job.iteration_log[1:]):
+        assert it2 == it1 + 1
+
+
+def test_no_resize_on_last_iteration():
+    """The paper resizes between iterations; after the last one the job
+    just finishes (no pointless redistribution)."""
+    fw, job = run_lu(iterations=2)
+    resizes = [c for c in fw.timeline.changes
+               if c.reason in ("expand", "shrink")]
+    finish = [c for c in fw.timeline.changes if c.reason == "finish"]
+    assert finish
+    assert all(r.time <= finish[0].time for r in resizes)
+
+
+def test_processors_match_config_throughout():
+    fw, job = run_lu(iterations=6)
+    # After the run the pool has everything back.
+    assert fw.pool.free_count == fw.pool.total
+    assert job.processors == []
+
+
+def test_framework_policies_are_pluggable():
+    fw, job = run_lu(iterations=6,
+                     sweet_spot=ThresholdSweetSpot(0.10),
+                     expansion=GreedyExpansionPolicy())
+    assert job.state == JobState.FINISHED
+
+
+def test_rpc_latency_charged():
+    """Each resize point costs two scheduler round-trips on rank 0."""
+    fw_fast, job_fast = run_lu(iterations=4, materialized=False,
+                               rpc_latency=0.0, dynamic=False)
+    fw_slow, job_slow = run_lu(iterations=4, materialized=False,
+                               rpc_latency=0.5, dynamic=False)
+    # 3 resize points x 2 x 0.5 s = 3 s difference, plus identical work.
+    delta = job_slow.turnaround - job_fast.turnaround
+    assert delta == pytest.approx(3.0, abs=0.5)
+
+
+def test_matmul_data_correct_after_resizes():
+    fw = ReshapeFramework(num_processors=16,
+                          spec=MachineSpec(num_nodes=16))
+    app = MatMulApplication(96, block=12, iterations=5,
+                            materialized=True)
+    job = fw.submit(app, config=(1, 2))
+    fw.run()
+    assert job.state == JobState.FINISHED
+    a = job.data["A"].to_global()
+    b = job.data["B"].to_global()
+    c = job.data["C"].to_global()
+    np.testing.assert_allclose(c, a @ b, atol=1e-9)
+
+
+def test_redistribution_time_accumulates_on_job():
+    _fw, job = run_lu(iterations=6)
+    logged = sum(rec[3] for rec in job.iteration_log)
+    assert job.redistribution_time == pytest.approx(logged, rel=0.2)
+
+
+class TestPriorityScheduling:
+    def test_high_priority_jumps_queue(self):
+        fw = ReshapeFramework(num_processors=4,
+                              spec=MachineSpec(num_nodes=8),
+                              dynamic=False, backfill=False)
+        blocker = fw.submit(LUApplication(480, block=48, iterations=4),
+                            config=(2, 2), arrival=0.0)
+        low = fw.submit(LUApplication(480, block=48, iterations=2),
+                        config=(2, 2), arrival=0.01, priority=0,
+                        name="low")
+        high = fw.submit(LUApplication(480, block=48, iterations=2),
+                         config=(2, 2), arrival=0.02, priority=5,
+                         name="high")
+        fw.run()
+        assert high.start_time < low.start_time
+        assert blocker.state == JobState.FINISHED
+
+    def test_equal_priority_stays_fcfs(self):
+        fw = ReshapeFramework(num_processors=4,
+                              spec=MachineSpec(num_nodes=8),
+                              dynamic=False, backfill=False)
+        fw.submit(LUApplication(480, block=48, iterations=3),
+                  config=(2, 2), arrival=0.0)
+        first = fw.submit(LUApplication(480, block=48, iterations=2),
+                          config=(2, 2), arrival=0.01, name="first")
+        second = fw.submit(LUApplication(480, block=48, iterations=2),
+                           config=(2, 2), arrival=0.02, name="second")
+        fw.run()
+        assert first.start_time < second.start_time

@@ -1,0 +1,215 @@
+"""Numerical correctness of the distributed kernels (materialized mode)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FFT2DApplication,
+    JacobiApplication,
+    LUApplication,
+    MasterWorkerApplication,
+    MatMulApplication,
+)
+from repro.apps.base import AppContext
+from repro.apps.fft2d import fft2d_once
+from repro.apps.lu import pdgetrf
+from repro.apps.matmul import pdgemm
+from repro.blacs import BlacsContext, ProcessGrid
+from repro.cluster import Machine, MachineSpec
+from repro.darray import Descriptor, DistributedMatrix
+from repro.mpi import World
+from repro.simulate import Environment
+
+
+def run_kernel(nprocs, body, num_nodes=16):
+    """SPMD harness: every rank runs body(ctx) after building a context."""
+    env = Environment()
+    machine = Machine(env, MachineSpec(num_nodes=num_nodes))
+    world = World(env, machine, launch_overhead=0.0)
+    results = {}
+
+    def main(comm, pr, pc):
+        blacs = yield from BlacsContext.create(comm, pr, pc)
+        ctx = AppContext(blacs.comm, blacs, {}, machine)
+        out = yield from body(ctx)
+        results[comm.rank] = out
+
+    return env, world, results, main
+
+
+def spmd(pr, pc, body, num_nodes=16):
+    env, world, results, main = run_kernel(pr * pc, body, num_nodes)
+    world.launch(main, processors=list(range(pr * pc)), args=(pr, pc))
+    env.run()
+    return results
+
+
+def lu_reconstruction_error(n, nb, pr, pc, seed=3):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    desc = Descriptor(m=n, n=n, mb=nb, nb=nb, grid=ProcessGrid(pr, pc))
+    dm = DistributedMatrix.from_global(a, desc)
+
+    def body(ctx):
+        ipiv = yield from pdgetrf(ctx, dm)
+        return ipiv
+
+    results = spmd(pr, pc, body)
+    ipiv = results[0]
+    factors = dm.to_global()
+    lower = np.tril(factors, -1) + np.eye(n)
+    upper = np.triu(factors)
+    pa = a.copy()
+    for j, gp in ipiv:
+        pa[[j, gp]] = pa[[gp, j]]
+    return np.max(np.abs(pa - lower @ upper)) / np.max(np.abs(a))
+
+
+class TestLU:
+    @pytest.mark.parametrize("pr,pc", [(1, 1), (1, 2), (2, 2), (2, 3)])
+    def test_pa_equals_lu(self, pr, pc):
+        err = lu_reconstruction_error(n=24, nb=4, pr=pr, pc=pc)
+        assert err < 1e-12
+
+    def test_ragged_blocks(self):
+        err = lu_reconstruction_error(n=26, nb=4, pr=2, pc=2)
+        assert err < 1e-12
+
+    def test_block_equals_matrix(self):
+        err = lu_reconstruction_error(n=16, nb=16, pr=1, pc=1)
+        assert err < 1e-12
+
+    def test_pivoting_matches_numpy_growth(self):
+        """Partial pivoting keeps multipliers bounded by 1."""
+        n, nb = 20, 5
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((n, n))
+        desc = Descriptor(m=n, n=n, mb=nb, nb=nb, grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix.from_global(a, desc)
+
+        def body(ctx):
+            yield from pdgetrf(ctx, dm)
+
+        spmd(2, 2, body)
+        lower = np.tril(dm.to_global(), -1)
+        assert np.max(np.abs(lower)) <= 1.0 + 1e-12
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("pr,pc", [(1, 1), (2, 1), (2, 2), (2, 3)])
+    def test_matches_numpy(self, pr, pc):
+        n, nb = 24, 4
+        rng = np.random.default_rng(4)
+        a_g = rng.standard_normal((n, n))
+        b_g = rng.standard_normal((n, n))
+        desc = Descriptor(m=n, n=n, mb=nb, nb=nb, grid=ProcessGrid(pr, pc))
+        a = DistributedMatrix.from_global(a_g, desc)
+        b = DistributedMatrix.from_global(b_g, desc)
+        c = DistributedMatrix(desc)
+
+        def body(ctx):
+            yield from pdgemm(ctx, a, b, c)
+
+        spmd(pr, pc, body)
+        np.testing.assert_allclose(c.to_global(), a_g @ b_g, atol=1e-10)
+
+    def test_ragged_blocks(self):
+        n, nb = 22, 5
+        rng = np.random.default_rng(8)
+        a_g = rng.standard_normal((n, n))
+        b_g = rng.standard_normal((n, n))
+        desc = Descriptor(m=n, n=n, mb=nb, nb=nb, grid=ProcessGrid(2, 2))
+        a = DistributedMatrix.from_global(a_g, desc)
+        b = DistributedMatrix.from_global(b_g, desc)
+        c = DistributedMatrix(desc)
+
+        def body(ctx):
+            yield from pdgemm(ctx, a, b, c)
+
+        spmd(2, 2, body)
+        np.testing.assert_allclose(c.to_global(), a_g @ b_g, atol=1e-10)
+
+
+class TestFFT2D:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_numpy_fft2(self, p):
+        n, mb = 16, 2
+        rng = np.random.default_rng(12)
+        img = rng.standard_normal((n, n)).astype(np.complex128)
+        desc = Descriptor(m=n, n=n, mb=mb, nb=n, grid=ProcessGrid(p, 1),
+                          itemsize=16)
+        dm = DistributedMatrix.from_global(img, desc)
+        scratch = DistributedMatrix(desc, dtype=np.complex128)
+
+        def body(ctx):
+            yield from fft2d_once(ctx, dm, scratch)
+
+        spmd(p, 1, body)
+        np.testing.assert_allclose(dm.to_global(), np.fft.fft2(img),
+                                   atol=1e-9)
+
+
+class TestJacobiApp:
+    def test_converges_to_solution(self):
+        app = JacobiApplication(40, block=5, iterations=3,
+                                materialized=True)
+        app.inner_sweeps = 30
+        from repro.api import run_static
+        result = run_static(app, (4, 1), verify=True)
+        assert result.verified is True
+        assert len(result.iteration_times) == 3
+
+
+class TestMasterWorker:
+    def test_all_units_processed(self):
+        app = MasterWorkerApplication(int(1e9), iterations=2)
+        app.units_per_iteration = 1000
+        app.chunk_size = 100
+        from repro.api import run_static
+        result = run_static(app, (1, 4))
+        assert len(result.iteration_times) == 2
+        assert all(t > 0 for t in result.iteration_times)
+
+    def test_more_workers_faster(self):
+        def time_with(p):
+            app = MasterWorkerApplication(int(4e9), iterations=1)
+            app.units_per_iteration = 2000
+            app.chunk_size = 100
+            from repro.api import run_static
+            return run_static(app, (1, p)).mean_iteration_time
+
+        t3, t9 = time_with(3), time_with(9)
+        assert t9 < t3
+
+
+class TestApplicationInterface:
+    def test_factory(self):
+        from repro.apps import application_by_name
+        assert application_by_name("lu", problem_size=100).name == "LU"
+        assert application_by_name("FFT", problem_size=64).name == "FFT"
+        with pytest.raises(ValueError):
+            application_by_name("nope", problem_size=4)
+
+    def test_flops_per_iteration_reported(self):
+        assert LUApplication(100).flops_per_iteration() == \
+            pytest.approx(2 / 3 * 1e6)
+        assert MatMulApplication(100).flops_per_iteration() == \
+            pytest.approx(2e6)
+
+    def test_legal_configs_respect_divisibility(self):
+        app = LUApplication(8000)
+        for pr, pc in app.legal_configs(50):
+            assert 8000 % pr == 0 and 8000 % pc == 0
+
+    def test_fft_configs_power_of_two(self):
+        app = FFT2DApplication(8192)
+        sizes = [pr * pc for pr, pc in app.legal_configs(50)]
+        assert sizes == [1, 2, 4, 8, 16, 32]
+
+    def test_masterworker_has_no_data(self):
+        app = MasterWorkerApplication(int(4e9))
+        assert app.create_data(ProcessGrid(1, 4)) == {}
+
+    def test_bad_problem_size(self):
+        with pytest.raises(ValueError):
+            LUApplication(0)

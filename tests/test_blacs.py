@@ -1,0 +1,122 @@
+"""Tests for the BLACS-style grid/context layer."""
+
+import pytest
+
+from repro.blacs import BlacsContext, ProcessGrid
+from repro.cluster import Machine, MachineSpec
+from repro.mpi import MPIError, World
+from repro.simulate import Environment
+
+
+class TestProcessGrid:
+    def test_coords_row_major(self):
+        g = ProcessGrid(2, 3)
+        assert g.coords(0) == (0, 0)
+        assert g.coords(2) == (0, 2)
+        assert g.coords(3) == (1, 0)
+        assert g.coords(5) == (1, 2)
+
+    def test_rank_of_inverts_coords(self):
+        g = ProcessGrid(3, 4)
+        for r in range(g.size):
+            assert g.rank_of(*g.coords(r)) == r
+
+    def test_members(self):
+        g = ProcessGrid(2, 3)
+        assert g.row_members(1) == [3, 4, 5]
+        assert g.col_members(2) == [2, 5]
+
+    def test_bounds_checked(self):
+        g = ProcessGrid(2, 2)
+        with pytest.raises(ValueError):
+            g.coords(4)
+        with pytest.raises(ValueError):
+            g.rank_of(2, 0)
+        with pytest.raises(ValueError):
+            ProcessGrid(0, 1)
+
+    def test_equality_and_hash(self):
+        assert ProcessGrid(2, 3) == ProcessGrid(2, 3)
+        assert ProcessGrid(2, 3) != ProcessGrid(3, 2)
+        assert hash(ProcessGrid(2, 3)) == hash(ProcessGrid(2, 3))
+
+
+def run_spmd(main, nprocs, num_nodes=16):
+    env = Environment()
+    machine = Machine(env, MachineSpec(num_nodes=num_nodes))
+    world = World(env, machine, launch_overhead=0.0)
+    group = world.launch(main, processors=list(range(nprocs)))
+    env.run()
+    return [p.value for p in group.processes]
+
+
+class TestBlacsContext:
+    def test_create_assigns_coordinates(self):
+        def main(comm):
+            ctx = yield from BlacsContext.create(comm, 2, 3)
+            return (ctx.myrow, ctx.mycol)
+
+        values = run_spmd(main, nprocs=6)
+        assert values == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_extra_ranks_get_none(self):
+        def main(comm):
+            ctx = yield from BlacsContext.create(comm, 1, 2)
+            return ctx is None
+
+        values = run_spmd(main, nprocs=4)
+        assert values == [False, False, True, True]
+
+    def test_grid_too_big_rejected(self):
+        def main(comm):
+            yield from BlacsContext.create(comm, 2, 3)
+
+        env = Environment()
+        machine = Machine(env, MachineSpec(num_nodes=4))
+        world = World(env, machine, launch_overhead=0.0)
+        world.launch(main, processors=[0, 1])
+        with pytest.raises(MPIError):
+            env.run()
+
+    def test_row_bcast_stays_in_row(self):
+        def main(comm):
+            ctx = yield from BlacsContext.create(comm, 2, 2)
+            payload = f"row{ctx.myrow}" if ctx.mycol == 0 else None
+            got = yield from ctx.row_bcast(payload, root_col=0)
+            return got
+
+        values = run_spmd(main, nprocs=4)
+        assert values == ["row0", "row0", "row1", "row1"]
+
+    def test_col_bcast_stays_in_col(self):
+        def main(comm):
+            ctx = yield from BlacsContext.create(comm, 2, 2)
+            payload = f"col{ctx.mycol}" if ctx.myrow == 0 else None
+            got = yield from ctx.col_bcast(payload, root_row=0)
+            return got
+
+        values = run_spmd(main, nprocs=4)
+        assert values == ["col0", "col1", "col0", "col1"]
+
+    def test_exit_blocks_further_use(self):
+        def main(comm):
+            ctx = yield from BlacsContext.create(comm, 1, 1)
+            ctx.exit()
+            yield from ctx.row_bcast("x", root_col=0)
+
+        env = Environment()
+        machine = Machine(env, MachineSpec(num_nodes=2))
+        world = World(env, machine, launch_overhead=0.0)
+        world.launch(main, processors=[0])
+        with pytest.raises(MPIError):
+            env.run()
+
+    def test_context_barrier(self):
+        def main(comm):
+            ctx = yield from BlacsContext.create(comm, 2, 2)
+            yield comm.env.timeout(float(comm.rank))
+            yield from ctx.barrier()
+            return comm.env.now
+
+        values = run_spmd(main, nprocs=4)
+        assert min(values) >= 3.0

@@ -1,0 +1,76 @@
+"""Focused tests of the checkpoint/restart comparator's data path."""
+
+import numpy as np
+import pytest
+
+from repro.blacs import ProcessGrid
+from repro.cluster import Machine, MachineSpec
+from repro.darray import Descriptor, DistributedMatrix
+from repro.mpi import World
+from repro.redist import checkpoint_redistribute
+from repro.simulate import Environment
+
+
+def run_checkpoint(m, n, mb, nb, old_grid, new_grid, *,
+                   materialized=True, num_nodes=16):
+    env = Environment()
+    machine = Machine(env, MachineSpec(num_nodes=num_nodes))
+    world = World(env, machine, launch_overhead=0.0)
+    desc = Descriptor(m=m, n=n, mb=mb, nb=nb, grid=ProcessGrid(*old_grid))
+    if materialized:
+        rng = np.random.default_rng(2)
+        source = DistributedMatrix.from_global(
+            rng.standard_normal((m, n)), desc)
+    else:
+        source = DistributedMatrix(desc, materialized=False)
+    results = {}
+
+    def main(comm):
+        res = yield from checkpoint_redistribute(
+            comm, source, ProcessGrid(*new_grid))
+        results[comm.rank] = res
+
+    nprocs = max(old_grid[0] * old_grid[1], new_grid[0] * new_grid[1])
+    world.launch(main, processors=list(range(nprocs)))
+    env.run()
+    return machine, source, results
+
+
+def test_every_byte_crosses_the_disk_twice():
+    machine, source, _results = run_checkpoint(
+        40, 40, 4, 4, (2, 2), (2, 3), materialized=False)
+    nbytes = source.desc.global_nbytes
+    assert machine.disk.bytes_written == nbytes
+    assert machine.disk.bytes_read == nbytes
+
+
+def test_shrink_through_checkpoint():
+    _machine, source, results = run_checkpoint(
+        24, 24, 3, 3, (2, 3), (1, 2))
+    rebuilt = results[0].matrix.to_global()
+    rng = np.random.default_rng(2)
+    np.testing.assert_allclose(rebuilt, rng.standard_normal((24, 24)))
+    # Departed ranks hold no matrix.
+    assert results[4].matrix is None and results[5].matrix is None
+
+
+def test_checkpoint_cost_dominated_by_funnel():
+    """Doubling processor count barely helps: node 0 is the bottleneck."""
+    def elapsed(grid):
+        _m, _s, results = run_checkpoint(2000, 2000, 100, 100,
+                                         (1, 2), grid,
+                                         materialized=False)
+        return results[0].elapsed
+
+    t_small = elapsed((2, 2))
+    t_large = elapsed((2, 4))
+    # More destinations != faster: everything still flows through rank 0.
+    assert t_large > 0.8 * t_small
+
+
+def test_identity_checkpoint_roundtrip():
+    _machine, _source, results = run_checkpoint(
+        20, 20, 5, 5, (2, 2), (2, 2))
+    rng = np.random.default_rng(2)
+    np.testing.assert_allclose(results[0].matrix.to_global(),
+                               rng.standard_normal((20, 20)))

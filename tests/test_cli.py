@@ -1,0 +1,61 @@
+"""CLI tests (in-process, via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "lu", "--size", "480",
+                              "--start", "1x2"])
+    assert args.command == "run" and args.app == "lu"
+    args = parser.parse_args(["workload", "w1"])
+    assert args.which == "w1"
+
+
+def test_run_subcommand(capsys):
+    rc = main(["run", "mm", "--size", "2400", "--iterations", "2",
+               "--procs", "8", "--start", "1x2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "turn-around" in out
+    assert "dynamic scheduling" in out
+
+
+def test_run_static_flag(capsys):
+    rc = main(["run", "mm", "--size", "2400", "--iterations", "2",
+               "--procs", "8", "--start", "2x2", "--static"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "static scheduling" in out
+    # Static run never leaves its grid.
+    assert "2x2" in out and "2x3" not in out
+
+
+def test_run_policy_flags(capsys):
+    rc = main(["run", "mm", "--size", "2400", "--iterations", "3",
+               "--procs", "12", "--start", "1x2", "--greedy",
+               "--threshold", "0.05"])
+    assert rc == 0
+
+
+def test_sweep_subcommand(capsys):
+    rc = main(["sweep", "mm", "--size", "2400", "--procs", "6"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "scaling sweep" in out
+
+
+def test_synth_subcommand(capsys):
+    rc = main(["synth", "--jobs", "2", "--procs", "8",
+               "--iterations", "1", "--seed", "1",
+               "--interarrival", "10"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "utilization" in out
+
+
+def test_bad_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "quicksort"])

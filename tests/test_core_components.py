@@ -1,0 +1,264 @@
+"""Unit tests for pool, queue, profiler, policies and remap decisions."""
+
+import pytest
+
+from repro.apps import LUApplication
+from repro.core import (
+    Job,
+    JobQueue,
+    PerformanceProfiler,
+    ProcessorPool,
+    RemapScheduler,
+    SweetSpotPolicy,
+    ThresholdSweetSpot,
+)
+from repro.core.policies import ExpansionPolicy, GreedyExpansionPolicy
+
+
+class TestProcessorPool:
+    def test_allocate_lowest_first(self):
+        pool = ProcessorPool(8)
+        assert pool.allocate(3, job_id=1) == [0, 1, 2]
+        assert pool.free_count == 5
+        assert pool.allocate(2, job_id=2) == [3, 4]
+
+    def test_release_specific(self):
+        pool = ProcessorPool(4)
+        pool.allocate(4, job_id=1)
+        pool.release([1, 3], job_id=1)
+        assert pool.free_processors() == [1, 3]
+        assert pool.processors_of(1) == [0, 2]
+
+    def test_release_wrong_owner_rejected(self):
+        pool = ProcessorPool(4)
+        pool.allocate(2, job_id=1)
+        with pytest.raises(RuntimeError):
+            pool.release([0], job_id=2)
+
+    def test_over_allocate_rejected(self):
+        pool = ProcessorPool(2)
+        with pytest.raises(RuntimeError):
+            pool.allocate(3, job_id=1)
+
+    def test_release_all(self):
+        pool = ProcessorPool(4)
+        pool.allocate(3, job_id=7)
+        freed = pool.release_all(7)
+        assert freed == [0, 1, 2]
+        assert pool.free_count == 4
+
+    def test_owner_lookup(self):
+        pool = ProcessorPool(4)
+        pool.allocate(2, job_id=9)
+        assert pool.owner_of(0) == 9
+        assert pool.owner_of(3) is None
+
+
+def make_job(size, arrival=0.0, n=480):
+    pr = 1
+    return Job(app=LUApplication(n), initial_config=(pr, size),
+               arrival_time=arrival)
+
+
+class TestJobQueue:
+    def test_fcfs_head_only(self):
+        q = JobQueue(backfill=False)
+        q.enqueue(make_job(8))
+        q.enqueue(make_job(2))
+        assert q.next_startable(free=4) is None  # head needs 8
+
+    def test_backfill_skips_big_head(self):
+        q = JobQueue(backfill=True)
+        big = make_job(8)
+        small = make_job(2)
+        q.enqueue(big)
+        q.enqueue(small)
+        assert q.next_startable(free=4) is small
+
+    def test_head_preferred_when_it_fits(self):
+        q = JobQueue(backfill=True)
+        first = make_job(4)
+        second = make_job(2)
+        q.enqueue(first)
+        q.enqueue(second)
+        assert q.next_startable(free=4) is first
+
+    def test_needed_for_head(self):
+        q = JobQueue()
+        q.enqueue(make_job(10))
+        assert q.needed_for_head(free=4) == 6
+        assert q.needed_for_head(free=12) == 0
+
+    def test_remove(self):
+        q = JobQueue()
+        job = make_job(2)
+        q.enqueue(job)
+        q.remove(job)
+        assert q.empty
+
+
+class TestPerformanceProfiler:
+    def test_records_and_means(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (2, 2), 10.0)
+        prof.record_iteration(1, (2, 2), 12.0)
+        assert prof.mean_time(1, (2, 2)) == pytest.approx(11.0)
+        assert prof.latest_time(1, (2, 2)) == pytest.approx(12.0)
+        assert prof.mean_time(1, (9, 9)) is None
+
+    def test_visited_order(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 5.0)
+        prof.record_iteration(1, (2, 2), 4.0)
+        prof.record_iteration(1, (1, 2), 5.1)
+        assert prof.visited_configs(1) == [(1, 2), (2, 2)]
+
+    def test_shrink_points_only_smaller_visited(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 9.0)
+        prof.record_iteration(1, (2, 2), 6.0)
+        prof.record_iteration(1, (2, 3), 5.0)
+        points = prof.shrink_points(1, (2, 3))
+        configs = [p.config for p in points]
+        assert configs == [(2, 2), (1, 2)]  # fewest freed first
+        assert points[0].processors_freed == 2
+        assert points[1].expected_degradation == pytest.approx(4.0)
+
+    def test_last_expansion(self):
+        prof = PerformanceProfiler()
+        assert prof.last_expansion(1) is None
+        prof.record_resize(1, "expand", (1, 2), (2, 2), 100, 0.5, when=1.0)
+        prof.record_resize(1, "shrink", (2, 2), (1, 2), 100, 0.5, when=2.0)
+        last = prof.last_expansion(1)
+        assert last.from_config == (1, 2)
+        assert last.to_config == (2, 2)
+        assert prof.has_expanded(1)
+
+    def test_forget(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 5.0)
+        prof.forget(1)
+        assert prof.visited_configs(1) == []
+
+
+class TestSweetSpotPolicies:
+    def test_simple_allows_first_expansion(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 10.0)
+        assert SweetSpotPolicy().expansion_worthwhile(prof, 1, (1, 2))
+
+    def test_simple_blocks_after_regret(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 10.0)
+        prof.record_resize(1, "expand", (1, 2), (2, 2), 0, 0.1, when=1.0)
+        prof.record_iteration(1, (2, 2), 11.0)  # worse!
+        policy = SweetSpotPolicy()
+        assert policy.expansion_regretted(prof, 1, (2, 2))
+        assert not policy.expansion_worthwhile(prof, 1, (2, 2))
+
+    def test_simple_allows_after_improvement(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 10.0)
+        prof.record_resize(1, "expand", (1, 2), (2, 2), 0, 0.1, when=1.0)
+        prof.record_iteration(1, (2, 2), 7.0)
+        policy = SweetSpotPolicy()
+        assert not policy.expansion_regretted(prof, 1, (2, 2))
+        assert policy.expansion_worthwhile(prof, 1, (2, 2))
+
+    def test_threshold_requires_margin(self):
+        prof = PerformanceProfiler()
+        prof.record_iteration(1, (1, 2), 10.0)
+        prof.record_resize(1, "expand", (1, 2), (2, 2), 0, 0.1, when=1.0)
+        prof.record_iteration(1, (2, 2), 9.8)  # only 2% better
+        lax = SweetSpotPolicy()
+        strict = ThresholdSweetSpot(threshold=0.05)
+        assert lax.expansion_worthwhile(prof, 1, (2, 2))
+        assert not strict.expansion_worthwhile(prof, 1, (2, 2))
+        assert strict.expansion_regretted(prof, 1, (2, 2))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdSweetSpot(threshold=-0.1)
+
+
+class TestExpansionPolicies:
+    CONFIGS = [(1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4)]
+
+    def test_next_larger(self):
+        policy = ExpansionPolicy()
+        assert policy.choose(self.CONFIGS, (2, 2), idle=10) == (2, 3)
+        assert policy.choose(self.CONFIGS, (2, 2), idle=1) is None
+
+    def test_greedy_takes_biggest(self):
+        policy = GreedyExpansionPolicy()
+        assert policy.choose(self.CONFIGS, (2, 2), idle=12) == (4, 4)
+        assert policy.choose(self.CONFIGS, (2, 2), idle=5) == (3, 3)
+
+
+class TestRemapScheduler:
+    def setup_method(self):
+        self.pool = ProcessorPool(16)
+        self.queue = JobQueue()
+        self.profiler = PerformanceProfiler()
+        self.remap = RemapScheduler(self.pool, self.queue, self.profiler)
+
+    def _running_job(self, config):
+        job = Job(app=LUApplication(480, block=48),
+                  initial_config=config)
+        job.config = config
+        job.processors = self.pool.allocate(
+            config[0] * config[1], job.job_id)
+        return job
+
+    def test_first_decision_expands_when_idle(self):
+        job = self._running_job((1, 2))
+        d = self.remap.decide(job, iteration_time=5.0,
+                              redistribution_time=0.0, now=1.0)
+        assert d.action == "expand"
+        assert d.new_config is not None
+        assert len(d.added_processors) == \
+            d.new_config[0] * d.new_config[1] - 2
+
+    def test_static_mode_never_resizes(self):
+        remap = RemapScheduler(self.pool, self.queue, self.profiler,
+                               dynamic=False)
+        job = self._running_job((1, 2))
+        d = remap.decide(job, 5.0, 0.0, now=1.0)
+        assert d.action == "none"
+
+    def test_no_expand_when_queue_nonempty(self):
+        job = self._running_job((1, 2))
+        waiting = Job(app=LUApplication(480, block=48),
+                      initial_config=(4, 4))
+        self.queue.enqueue(waiting)
+        d = self.remap.decide(job, 5.0, 0.0, now=1.0)
+        # 14 free, head needs 16: job has no smaller history -> none.
+        assert d.action == "none"
+
+    def test_shrink_for_queued_job(self):
+        job = self._running_job((2, 2))
+        # History: it previously ran on (1, 2).
+        self.profiler.record_iteration(job.job_id, (1, 2), 9.0)
+        waiting = Job(app=LUApplication(480, block=48),
+                      initial_config=(2, 7))  # needs 14, 12 free
+        self.queue.enqueue(waiting)
+        d = self.remap.decide(job, 5.0, 0.0, now=1.0)
+        assert d.action == "shrink"
+        assert d.new_config == (1, 2)
+
+    def test_shrink_back_after_regret(self):
+        job = self._running_job((2, 2))
+        self.profiler.record_iteration(job.job_id, (1, 2), 5.0)
+        self.profiler.record_resize(job.job_id, "expand", (1, 2), (2, 2),
+                                    0, 0.1, when=0.5)
+        d = self.remap.decide(job, iteration_time=6.0,  # worse than 5.0
+                              redistribution_time=0.0, now=1.0)
+        assert d.action == "shrink"
+        assert d.new_config == (1, 2)
+
+    def test_expansion_allocates_from_pool(self):
+        job = self._running_job((1, 2))
+        before = self.pool.free_count
+        d = self.remap.decide(job, 5.0, 0.0, now=1.0)
+        assert d.action == "expand"
+        assert self.pool.free_count == before - len(d.added_processors)

@@ -1,0 +1,190 @@
+"""Unit + property tests for block-cyclic index math and DistributedMatrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blacs import ProcessGrid
+from repro.darray import (
+    Descriptor,
+    DistributedMatrix,
+    block_owner,
+    global_to_local,
+    local_blocks,
+    local_to_global,
+    numroc,
+)
+
+
+class TestNumroc:
+    def test_even_split(self):
+        # 100 elements, blocks of 10, 5 procs -> 2 blocks each.
+        for p in range(5):
+            assert numroc(100, 10, p, 0, 5) == 20
+
+    def test_uneven_split(self):
+        # 7 blocks of 10 over 3 procs: 3,2,2 blocks.
+        assert numroc(70, 10, 0, 0, 3) == 30
+        assert numroc(70, 10, 1, 0, 3) == 20
+        assert numroc(70, 10, 2, 0, 3) == 20
+
+    def test_ragged_last_block(self):
+        # 25 elements, blocks of 10, 2 procs: proc0 gets blocks 0,2 (10+5),
+        # proc1 gets block 1 (10).
+        assert numroc(25, 10, 0, 0, 2) == 15
+        assert numroc(25, 10, 1, 0, 2) == 10
+
+    def test_with_source_offset(self):
+        assert numroc(30, 10, 1, 1, 3) == 10
+        assert numroc(25, 10, 1, 1, 2) == 15
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            numroc(10, 0, 0, 0, 2)
+        with pytest.raises(ValueError):
+            numroc(10, 2, 5, 0, 2)
+
+    @given(n=st.integers(0, 500), nb=st.integers(1, 32),
+           nprocs=st.integers(1, 10), isrc=st.integers(0, 9))
+    def test_property_total_conserved(self, n, nb, nprocs, isrc):
+        isrc = isrc % nprocs
+        total = sum(numroc(n, nb, p, isrc, nprocs) for p in range(nprocs))
+        assert total == n
+
+
+class TestIndexMaps:
+    @given(gindex=st.integers(0, 499), nb=st.integers(1, 32),
+           nprocs=st.integers(1, 10), isrc=st.integers(0, 9))
+    def test_property_roundtrip(self, gindex, nb, nprocs, isrc):
+        isrc = isrc % nprocs
+        owner, lindex = global_to_local(gindex, nb, isrc, nprocs)
+        assert 0 <= owner < nprocs
+        assert local_to_global(lindex, owner, nb, isrc, nprocs) == gindex
+
+    def test_block_owner_cyclic(self):
+        assert [block_owner(b, 0, 3) for b in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert [block_owner(b, 1, 3) for b in range(3)] == [1, 2, 0]
+
+    def test_local_blocks_cover_dimension(self):
+        n, nb, nprocs = 95, 10, 4
+        seen = set()
+        for p in range(nprocs):
+            for gblock, gstart, length in local_blocks(n, nb, p, 0, nprocs):
+                assert gstart == gblock * nb
+                seen.update(range(gstart, gstart + length))
+        assert seen == set(range(n))
+
+    @given(n=st.integers(1, 400), nb=st.integers(1, 32),
+           nprocs=st.integers(1, 8))
+    def test_property_local_blocks_match_numroc(self, n, nb, nprocs):
+        for p in range(nprocs):
+            blocks = local_blocks(n, nb, p, 0, nprocs)
+            assert sum(length for _, _, length in blocks) == \
+                numroc(n, nb, p, 0, nprocs)
+
+
+class TestDescriptor:
+    def test_local_shapes(self):
+        desc = Descriptor(m=100, n=80, mb=10, nb=10,
+                          grid=ProcessGrid(2, 2))
+        assert desc.local_shape(0, 0) == (50, 40)
+        assert desc.local_shape(1, 1) == (50, 40)
+
+    def test_block_counts(self):
+        desc = Descriptor(m=95, n=80, mb=10, nb=16,
+                          grid=ProcessGrid(2, 2))
+        assert desc.row_blocks == 10
+        assert desc.col_blocks == 5
+
+    def test_owner_of_element(self):
+        desc = Descriptor(m=40, n=40, mb=10, nb=10,
+                          grid=ProcessGrid(2, 2))
+        assert desc.owner_of_element(0, 0) == (0, 0)
+        assert desc.owner_of_element(10, 0) == (1, 0)
+        assert desc.owner_of_element(25, 35) == (0, 1)
+
+    def test_with_grid_changes_only_grid(self):
+        desc = Descriptor(m=40, n=40, mb=10, nb=10,
+                          grid=ProcessGrid(2, 2))
+        new = desc.with_grid(ProcessGrid(2, 3))
+        assert (new.m, new.n, new.mb, new.nb) == (40, 40, 10, 10)
+        assert new.grid == ProcessGrid(2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Descriptor(m=-1, n=4, mb=2, nb=2, grid=ProcessGrid(1, 1))
+        with pytest.raises(ValueError):
+            Descriptor(m=4, n=4, mb=0, nb=2, grid=ProcessGrid(1, 1))
+        with pytest.raises(ValueError):
+            Descriptor(m=4, n=4, mb=2, nb=2, grid=ProcessGrid(2, 2),
+                       rsrc=2)
+
+    def test_nbytes(self):
+        desc = Descriptor(m=10, n=10, mb=2, nb=2, grid=ProcessGrid(1, 1))
+        assert desc.global_nbytes == 800
+        assert desc.local_nbytes(0, 0) == 800
+
+
+class TestDistributedMatrix:
+    def test_from_global_to_global_roundtrip(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((30, 20))
+        desc = Descriptor(m=30, n=20, mb=4, nb=3, grid=ProcessGrid(2, 3))
+        dm = DistributedMatrix.from_global(a, desc)
+        np.testing.assert_array_equal(dm.to_global(), a)
+
+    @settings(deadline=None, max_examples=25)
+    @given(m=st.integers(1, 40), n=st.integers(1, 40),
+           mb=st.integers(1, 8), nb=st.integers(1, 8),
+           pr=st.integers(1, 3), pc=st.integers(1, 3))
+    def test_property_roundtrip_any_layout(self, m, n, mb, nb, pr, pc):
+        rng = np.random.default_rng(m * 100 + n)
+        a = rng.standard_normal((m, n))
+        desc = Descriptor(m=m, n=n, mb=mb, nb=nb, grid=ProcessGrid(pr, pc))
+        dm = DistributedMatrix.from_global(a, desc)
+        np.testing.assert_array_equal(dm.to_global(), a)
+
+    def test_local_shapes_match_descriptor(self):
+        desc = Descriptor(m=25, n=17, mb=3, nb=5, grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix(desc)
+        for rank in range(4):
+            assert dm.local(rank).shape == desc.local_shape_of_rank(rank)
+
+    def test_phantom_has_no_storage(self):
+        desc = Descriptor(m=1000, n=1000, mb=32, nb=32,
+                          grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix(desc, materialized=False)
+        with pytest.raises(RuntimeError):
+            dm.local(0)
+        with pytest.raises(RuntimeError):
+            dm.to_global()
+        # rank 0 owns 16 of 31 full blocks + the ragged one per dim = 512.
+        assert dm.local_nbytes(0) == 512 * 512 * 8
+
+    def test_set_local_validates_shape(self):
+        desc = Descriptor(m=10, n=10, mb=5, nb=5, grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix(desc)
+        with pytest.raises(ValueError):
+            dm.set_local(0, np.zeros((3, 3)))
+        dm.set_local(0, np.ones((5, 5)))
+        assert dm.local(0).sum() == 25
+
+    def test_local_block_slices(self):
+        a = np.arange(64.0).reshape(8, 8)
+        desc = Descriptor(m=8, n=8, mb=2, nb=2, grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix.from_global(a, desc)
+        # Global block (2,0) lives on grid process (0,0) = rank 0.
+        rs, cs = dm.local_block_slices(0, 2, 0)
+        np.testing.assert_array_equal(dm.local(0)[rs, cs], a[4:6, 0:2])
+
+    def test_local_block_slices_wrong_owner(self):
+        desc = Descriptor(m=8, n=8, mb=2, nb=2, grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix(desc)
+        with pytest.raises(ValueError):
+            dm.local_block_slices(0, 1, 0)  # block (1,0) lives on rank 2
+
+    def test_ragged_edge_blocks(self):
+        a = np.arange(35.0).reshape(7, 5)
+        desc = Descriptor(m=7, n=5, mb=3, nb=2, grid=ProcessGrid(2, 2))
+        dm = DistributedMatrix.from_global(a, desc)
+        np.testing.assert_array_equal(dm.to_global(), a)

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "LU(12000) under ReSHAPE" in out
+    assert "job state: finished" in out
+    assert "cluster utilization" in out
+
+
+def test_job_mix_scheduling_fast():
+    out = run_example("job_mix_scheduling.py", "--fast")
+    assert "Turn-around times (workload W1)" in out
+    assert "utilization" in out
+    assert "Master-worker" in out
+
+
+def test_port_an_application():
+    out = run_example("port_an_application.py")
+    assert "job finished: finished" in out
+    assert "eigenpair verified: True" in out
+
+
+@pytest.mark.slow
+def test_sweet_spot_probe():
+    out = run_example("sweet_spot_probe.py", "--size", "8000")
+    assert "ReSHAPE settled on" in out

@@ -1,0 +1,64 @@
+"""System Monitor unit tests: resource recovery on end and on error."""
+
+from repro.apps import LUApplication
+from repro.core import Job, JobState, ProcessorPool
+from repro.core.monitor import SystemMonitor
+
+
+def make_job(size=4):
+    job = Job(app=LUApplication(480, block=48),
+              initial_config=(2, size // 2))
+    return job
+
+
+def test_job_end_recovers_resources():
+    pool = ProcessorPool(8)
+    woken = []
+    monitor = SystemMonitor(pool, on_resources_freed=lambda: woken.append(1))
+    job = make_job()
+    job.processors = pool.allocate(4, job.job_id)
+    monitor.job_started(job)
+    assert job.job_id in monitor.running
+
+    monitor.job_ended(job, now=12.5)
+    assert job.state == JobState.FINISHED
+    assert job.end_time == 12.5
+    assert pool.free_count == 8
+    assert job.processors == []
+    assert monitor.finished == [job]
+    assert woken == [1]
+
+
+def test_job_error_recovers_resources():
+    pool = ProcessorPool(8)
+    monitor = SystemMonitor(pool)
+    job = make_job()
+    job.processors = pool.allocate(4, job.job_id)
+    monitor.job_started(job)
+
+    monitor.job_failed(job, now=3.0, error="segfault")
+    assert job.state == JobState.FAILED
+    assert pool.free_count == 8
+    assert monitor.failed == [job]
+    assert job.job_id not in monitor.running
+
+
+def test_monitor_tracks_multiple_jobs():
+    pool = ProcessorPool(16)
+    monitor = SystemMonitor(pool)
+    jobs = [make_job() for _ in range(3)]
+    for job in jobs:
+        job.processors = pool.allocate(4, job.job_id)
+        monitor.job_started(job)
+    assert len(monitor.running) == 3
+    monitor.job_ended(jobs[1], now=1.0)
+    assert len(monitor.running) == 2
+    assert pool.free_count == 8
+
+
+def test_turnaround_uses_arrival_not_start():
+    job = make_job()
+    job.arrival_time = 10.0
+    job.start_time = 25.0
+    job.end_time = 100.0
+    assert job.turnaround == 90.0

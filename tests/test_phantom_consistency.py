@@ -1,0 +1,81 @@
+"""Phantom and materialized runs must agree on simulated time.
+
+The whole phantom-mode design rests on one invariant: replacing real
+payloads with byte-counted stand-ins changes *nothing* about simulated
+timing.  These tests pin that invariant for each kernel (compute charges
+are identical by construction; the risk is divergent communication
+paths, e.g. a materialized-only branch doing an extra send).
+
+Phantom LU additionally aggregates per-column pivot traffic, so its
+timing is an approximation rather than an exact match — asserted as a
+band, not an equality.
+"""
+
+import pytest
+
+from repro.api import run_static
+from repro.apps import (
+    FFT2DApplication,
+    JacobiApplication,
+    LUApplication,
+    MatMulApplication,
+)
+from repro.cluster import MachineSpec
+
+
+def iter_time(app_cls, config, *, n, block, materialized, **app_kwargs):
+    app = app_cls(n, block=block, iterations=1,
+                  materialized=materialized, **app_kwargs)
+    for key, value in app_kwargs.items():
+        setattr(app, key, value)
+    result = run_static(app, config, spec=MachineSpec(num_nodes=16))
+    return result.mean_iteration_time
+
+
+def test_matmul_phantom_matches_materialized_exactly():
+    t_mat = iter_time(MatMulApplication, (2, 2), n=96, block=12,
+                      materialized=True)
+    t_pha = iter_time(MatMulApplication, (2, 2), n=96, block=12,
+                      materialized=False)
+    assert t_pha == pytest.approx(t_mat, rel=1e-6)
+
+
+def test_jacobi_phantom_close_to_materialized():
+    # Phantom Jacobi samples one sweep and repeats it; the payload of a
+    # materialized sweep carries index arrays too, so allow a small gap.
+    t_mat = iter_time(JacobiApplication, (4, 1), n=80, block=10,
+                      materialized=True)
+    t_pha = iter_time(JacobiApplication, (4, 1), n=80, block=10,
+                      materialized=False)
+    assert t_pha == pytest.approx(t_mat, rel=0.35)
+
+
+def test_fft_phantom_close_to_materialized():
+    t_mat = iter_time(FFT2DApplication, (4, 1), n=64, block=4,
+                      materialized=True)
+    t_pha = iter_time(FFT2DApplication, (4, 1), n=64, block=4,
+                      materialized=False)
+    assert t_pha == pytest.approx(t_mat, rel=0.25)
+
+
+def test_lu_phantom_within_band_of_materialized():
+    t_mat = iter_time(LUApplication, (2, 2), n=240, block=24,
+                      materialized=True)
+    t_pha = iter_time(LUApplication, (2, 2), n=240, block=24,
+                      materialized=False)
+    # Pivot-loop aggregation + synthetic swaps: same order of magnitude.
+    assert t_pha == pytest.approx(t_mat, rel=0.5)
+
+
+def test_phantom_scaling_direction_matches_materialized():
+    """If materialized says 4 procs beat 2, phantom must agree."""
+    def pair(materialized):
+        t2 = iter_time(MatMulApplication, (1, 2), n=192, block=24,
+                       materialized=materialized)
+        t4 = iter_time(MatMulApplication, (2, 2), n=192, block=24,
+                       materialized=materialized)
+        return t2, t4
+
+    m2, m4 = pair(True)
+    p2, p4 = pair(False)
+    assert (m4 < m2) == (p4 < p2)

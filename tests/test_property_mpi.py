@@ -1,0 +1,120 @@
+"""Property-based tests of the MPI layer's semantic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Machine, MachineSpec
+from repro.mpi import SUM, World
+from repro.simulate import Environment
+
+
+def run_spmd(main, nprocs, args=()):
+    env = Environment()
+    machine = Machine(env, MachineSpec(num_nodes=max(nprocs, 2)))
+    world = World(env, machine, launch_overhead=0.0)
+    group = world.launch(main, processors=list(range(nprocs)), args=args)
+    env.run()
+    return env, [p.value for p in group.processes]
+
+
+@settings(deadline=None, max_examples=20)
+@given(nprocs=st.integers(1, 9), root=st.integers(0, 8),
+       payload=st.one_of(st.integers(), st.text(max_size=8),
+                         st.lists(st.floats(allow_nan=False,
+                                            allow_infinity=False),
+                                  max_size=4)))
+def test_bcast_delivers_identical_payload(nprocs, root, payload):
+    root = root % nprocs
+
+    def main(comm):
+        value = payload if comm.rank == root else None
+        result = yield from comm.bcast(value, root=root)
+        return result
+
+    _, values = run_spmd(main, nprocs)
+    assert values == [payload] * nprocs
+
+
+@settings(deadline=None, max_examples=20)
+@given(nprocs=st.integers(1, 8),
+       contributions=st.lists(st.integers(-1000, 1000), min_size=8,
+                              max_size=8))
+def test_allreduce_equals_python_sum(nprocs, contributions):
+    def main(comm):
+        result = yield from comm.allreduce(contributions[comm.rank], SUM)
+        return result
+
+    _, values = run_spmd(main, nprocs)
+    expected = sum(contributions[:nprocs])
+    assert values == [expected] * nprocs
+
+
+@settings(deadline=None, max_examples=15)
+@given(nprocs=st.integers(1, 7), seed=st.integers(0, 10_000))
+def test_alltoall_is_transpose(nprocs, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 100, size=(nprocs, nprocs))
+
+    def main(comm):
+        outbox = [int(matrix[comm.rank, d]) for d in range(comm.size)]
+        inbox = yield from comm.alltoall(outbox)
+        return inbox
+
+    _, values = run_spmd(main, nprocs)
+    for r, inbox in enumerate(values):
+        assert inbox == [int(matrix[s, r]) for s in range(nprocs)]
+
+
+@settings(deadline=None, max_examples=15)
+@given(nprocs=st.integers(2, 8), count=st.integers(1, 12))
+def test_p2p_fifo_per_sender(nprocs, count):
+    """Messages between one (src, dst, tag) pair never reorder."""
+    def main(comm):
+        if comm.rank == 0:
+            for i in range(count):
+                yield from comm.send(i, dest=comm.size - 1, tag=2)
+            return None
+        if comm.rank == comm.size - 1:
+            got = []
+            for _ in range(count):
+                got.append((yield from comm.recv(source=0, tag=2)))
+            return got
+        yield comm.env.timeout(0)
+        return None
+
+    _, values = run_spmd(main, nprocs)
+    assert values[-1] == list(range(count))
+
+
+@settings(deadline=None, max_examples=10)
+@given(nprocs=st.integers(1, 8))
+def test_simulation_is_deterministic(nprocs):
+    """Two identical runs give bit-identical end times."""
+    def experiment():
+        def main(comm):
+            total = yield from comm.allreduce(comm.rank, SUM)
+            yield from comm.barrier()
+            yield from comm.bcast(total, root=0)
+
+        env, _ = run_spmd(main, nprocs)
+        return env.now
+
+    assert experiment() == experiment()
+
+
+@settings(deadline=None, max_examples=10)
+@given(nprocs=st.integers(2, 8), nbytes=st.integers(0, 10_000_000))
+def test_transfer_time_monotone_in_size(nprocs, nbytes):
+    def timed(size):
+        def main(comm):
+            from repro.mpi import Phantom
+            if comm.rank == 0:
+                yield from comm.send(Phantom(size), dest=1)
+            elif comm.rank == 1:
+                yield from comm.recv(source=0)
+
+        env, _ = run_spmd(main, nprocs)
+        return env.now
+
+    assert timed(nbytes) <= timed(nbytes + 1_000_000)

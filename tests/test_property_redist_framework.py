@@ -1,0 +1,83 @@
+"""Property tests over the full resize machinery.
+
+These drive the framework end-to-end with randomized shapes and assert
+the invariants the whole design rests on: data survives any sequence of
+resizes, processors are conserved, and utilization is well-defined.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import MatMulApplication
+from repro.cluster import MachineSpec
+from repro.core import JobState, ReshapeFramework
+
+
+@settings(deadline=None, max_examples=8)
+@given(n_over_block=st.sampled_from([6, 8, 12]),
+       block=st.sampled_from([6, 10, 16]),
+       iterations=st.integers(3, 6),
+       procs=st.sampled_from([6, 9, 12, 16]))
+def test_data_integrity_under_random_resizes(n_over_block, block,
+                                             iterations, procs):
+    n = n_over_block * block
+    fw = ReshapeFramework(num_processors=procs,
+                          spec=MachineSpec(num_nodes=max(procs, 4)))
+    app = MatMulApplication(n, block=block, iterations=iterations,
+                            materialized=True)
+    job = fw.submit(app, config=(1, 2))
+    fw.run()
+    assert job.state == JobState.FINISHED
+    rng = np.random.default_rng(99)
+    a_ref = rng.standard_normal((n, n))
+    b_ref = rng.standard_normal((n, n))
+    np.testing.assert_allclose(job.data["A"].to_global(), a_ref)
+    np.testing.assert_allclose(job.data["B"].to_global(), b_ref)
+    # C holds the last product, wherever the data ended up.
+    np.testing.assert_allclose(job.data["C"].to_global(),
+                               a_ref @ b_ref, atol=1e-8)
+
+
+@settings(deadline=None, max_examples=6)
+@given(arrivals=st.lists(st.floats(0.0, 2.0), min_size=2, max_size=4),
+       procs=st.sampled_from([8, 12]))
+def test_processor_conservation(arrivals, procs):
+    """At no recorded instant does allocation exceed the pool."""
+    fw = ReshapeFramework(num_processors=procs,
+                          spec=MachineSpec(num_nodes=procs))
+    for i, arrival in enumerate(arrivals):
+        app = MatMulApplication(480, block=48, iterations=2)
+        fw.submit(app, config=(1, 2), arrival=arrival, name=f"j{i}")
+    fw.run()
+    for _t, busy in fw.timeline.busy_processors():
+        assert 0 <= busy <= procs
+    assert fw.pool.free_count == procs
+    for job in fw.jobs:
+        assert job.state == JobState.FINISHED
+
+
+@settings(deadline=None, max_examples=5)
+@given(procs=st.sampled_from([6, 9, 16]), seed=st.integers(0, 100))
+def test_utilization_bounded(procs, seed):
+    fw = ReshapeFramework(num_processors=procs,
+                          spec=MachineSpec(num_nodes=max(procs, 4)))
+    rng = np.random.default_rng(seed)
+    for i in range(2):
+        app = MatMulApplication(480, block=48, iterations=2)
+        fw.submit(app, config=(1, 2),
+                  arrival=float(rng.uniform(0, 1)), name=f"job{i}")
+    fw.run()
+    assert 0.0 <= fw.utilization() <= 1.0
+
+
+@settings(deadline=None, max_examples=6)
+@given(iterations=st.integers(2, 5))
+def test_iteration_log_complete_under_resizing(iterations):
+    fw = ReshapeFramework(num_processors=12,
+                          spec=MachineSpec(num_nodes=12))
+    app = MatMulApplication(960, block=96, iterations=iterations)
+    job = fw.submit(app, config=(1, 2))
+    fw.run()
+    assert [rec[0] for rec in job.iteration_log] == list(range(iterations))
+    assert all(rec[2] > 0 for rec in job.iteration_log)

@@ -1,0 +1,59 @@
+"""Tests for the redistribution cost log and its predictor."""
+
+import pytest
+
+from repro.redist import RedistributionCostLog
+from repro.redist.costs import _moved_fraction
+
+
+class TestMovedFraction:
+    def test_identity_moves_nothing(self):
+        assert _moved_fraction(4, 4) == 0.0
+
+    def test_doubling(self):
+        # p=2 -> q=4: blocks 0,1 stay; 2,3 move: half the data.
+        assert _moved_fraction(2, 4) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        assert _moved_fraction(3, 5) == _moved_fraction(5, 3)
+
+    def test_bounds(self):
+        for p in range(1, 8):
+            for q in range(1, 8):
+                f = _moved_fraction(p, q)
+                assert 0.0 <= f <= 1.0
+
+
+class TestCostLog:
+    def test_observed_exact_pair(self):
+        log = RedistributionCostLog()
+        log.record((1, 2), (2, 2), 1000, 2.0, when=1.0)
+        log.record((1, 2), (2, 2), 1000, 4.0, when=2.0)
+        assert log.observed((1, 2), (2, 2)) == pytest.approx(3.0)
+        assert log.observed((2, 2), (2, 3)) is None
+
+    def test_predict_prefers_exact(self):
+        log = RedistributionCostLog()
+        log.record((1, 2), (2, 2), 1000, 2.0, when=1.0)
+        assert log.predict((1, 2), (2, 2), 999999) == pytest.approx(2.0)
+
+    def test_predict_scales_unseen_pair(self):
+        log = RedistributionCostLog()
+        nbytes = 100_000_000
+        log.record((1, 2), (2, 2), nbytes, 5.0, when=1.0)
+        # Unseen resize, double the data: prediction should exist and
+        # grow with volume.
+        small = log.predict((2, 2), (2, 3), nbytes)
+        big = log.predict((2, 2), (2, 3), 2 * nbytes)
+        assert small is not None and big is not None
+        assert big > small
+
+    def test_predict_without_history(self):
+        log = RedistributionCostLog()
+        assert log.predict((1, 2), (2, 2), 100) is None
+
+    def test_effective_bandwidth_positive(self):
+        log = RedistributionCostLog()
+        log.record((1, 2), (2, 2), 100_000_000, 5.0, when=1.0)
+        bw = log.effective_bandwidth()
+        assert bw is not None and bw > 0

@@ -1,0 +1,157 @@
+"""Tests for communication classes and contention-free schedules."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.redist import (
+    build_1d_schedule,
+    build_2d_schedule,
+    build_class_table,
+    build_naive_1d_schedule,
+    crt_block_classes,
+    edge_coloring_schedule,
+    verify_schedule_complete,
+    verify_schedule_contention_free,
+)
+from repro.redist.schedule import verify_2d_schedule_complete
+
+
+class TestBlockClasses:
+    def test_classes_partition_blocks(self):
+        classes = crt_block_classes(nblocks=24, P=2, Q=3)
+        all_blocks = sorted(b for c in classes for b in c.blocks)
+        assert all_blocks == list(range(24))
+
+    def test_class_routing_correct(self):
+        for cls in crt_block_classes(nblocks=30, P=3, Q=5):
+            for g in cls.blocks:
+                assert g % 3 == cls.src
+                assert g % 5 == cls.dst
+
+    def test_pair_bijection_within_period(self):
+        P, Q = 4, 6
+        L = math.lcm(P, Q)
+        classes = crt_block_classes(nblocks=L, P=P, Q=Q)
+        pairs = [(c.src, c.dst) for c in classes]
+        # g -> (g mod P, g mod Q) is injective on one period.
+        assert len(set(pairs)) == len(pairs) == L
+
+    def test_fewer_blocks_than_period(self):
+        classes = crt_block_classes(nblocks=3, P=2, Q=4)
+        assert len(classes) == 3
+        assert all(c.count == 1 for c in classes)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            crt_block_classes(-1, 2, 2)
+        with pytest.raises(ValueError):
+            crt_block_classes(4, 0, 2)
+
+
+class TestCirculantSchedule:
+    @pytest.mark.parametrize("P,Q", [(2, 4), (4, 2), (2, 3), (3, 5),
+                                     (4, 6), (6, 4), (1, 5), (5, 1),
+                                     (4, 4), (12, 16), (16, 12)])
+    def test_contention_free_and_complete(self, P, Q):
+        sched = build_1d_schedule(nblocks=120, P=P, Q=Q)
+        assert verify_schedule_contention_free(sched)
+        assert verify_schedule_complete(sched)
+
+    @pytest.mark.parametrize("P,Q", [(2, 4), (3, 5), (6, 4), (5, 8)])
+    def test_step_count_is_optimal(self, P, Q):
+        L = math.lcm(P, Q)
+        sched = build_1d_schedule(nblocks=10 * L, P=P, Q=Q)
+        assert sched.num_steps == max(L // P, L // Q)
+
+    def test_identity_redistribution_single_step(self):
+        sched = build_1d_schedule(nblocks=40, P=4, Q=4)
+        # P == Q: every class is src == dst, one step of local copies.
+        assert sched.num_steps == 1
+        assert all(m.src == m.dst for m in sched.messages)
+
+    @settings(deadline=None, max_examples=60)
+    @given(nblocks=st.integers(0, 300), P=st.integers(1, 12),
+           Q=st.integers(1, 12))
+    def test_property_always_valid(self, nblocks, P, Q):
+        sched = build_1d_schedule(nblocks=nblocks, P=P, Q=Q)
+        assert verify_schedule_contention_free(sched)
+        assert verify_schedule_complete(sched)
+
+    def test_zero_blocks(self):
+        sched = build_1d_schedule(nblocks=0, P=3, Q=4)
+        assert sched.num_steps == 0
+        assert verify_schedule_complete(sched)
+
+
+class TestNaiveSchedule:
+    def test_single_step_but_complete(self):
+        sched = build_naive_1d_schedule(nblocks=60, P=3, Q=4)
+        assert sched.num_steps == 1
+        assert verify_schedule_complete(sched)
+        # With lcm(3,4)=12 classes in one step, contention is guaranteed.
+        assert not verify_schedule_contention_free(sched)
+
+
+class TestEdgeColoringSchedule:
+    @pytest.mark.parametrize("P,Q", [(2, 4), (3, 5), (6, 4), (7, 3)])
+    def test_matches_circulant_guarantees(self, P, Q):
+        sched = edge_coloring_schedule(nblocks=100, P=P, Q=Q)
+        assert verify_schedule_contention_free(sched)
+        assert verify_schedule_complete(sched)
+
+    @settings(deadline=None, max_examples=30)
+    @given(nblocks=st.integers(1, 120), P=st.integers(1, 8),
+           Q=st.integers(1, 8))
+    def test_property_valid(self, nblocks, P, Q):
+        sched = edge_coloring_schedule(nblocks=nblocks, P=P, Q=Q)
+        assert verify_schedule_contention_free(sched)
+        assert verify_schedule_complete(sched)
+
+
+class TestCheckerboardSchedule:
+    @pytest.mark.parametrize("src,dst", [
+        ((2, 2), (2, 3)),   # paper: 4 -> 6 processors
+        ((2, 3), (3, 3)),   # 6 -> 9
+        ((3, 4), (4, 4)),   # 12 -> 16
+        ((4, 4), (3, 4)),   # 16 -> 12 (the Fig 3a shrink)
+        ((1, 2), (2, 2)),
+        ((5, 5), (5, 8)),
+    ])
+    def test_contention_free_and_complete(self, src, dst):
+        sched = build_2d_schedule(row_blocks=24, col_blocks=24,
+                                  src_grid=src, dst_grid=dst)
+        assert verify_schedule_contention_free(sched)
+        assert verify_2d_schedule_complete(sched)
+
+    def test_step_count_is_product(self):
+        sched = build_2d_schedule(row_blocks=48, col_blocks=48,
+                                  src_grid=(2, 3), dst_grid=(4, 5))
+        rows = build_1d_schedule(48, 2, 4)
+        cols = build_1d_schedule(48, 3, 5)
+        assert sched.num_steps == rows.num_steps * cols.num_steps
+
+    @settings(deadline=None, max_examples=25)
+    @given(rb=st.integers(1, 40), cb=st.integers(1, 40),
+           pr=st.integers(1, 4), pc=st.integers(1, 4),
+           qr=st.integers(1, 4), qc=st.integers(1, 4))
+    def test_property_valid(self, rb, cb, pr, pc, qr, qc):
+        sched = build_2d_schedule(row_blocks=rb, col_blocks=cb,
+                                  src_grid=(pr, pc), dst_grid=(qr, qc))
+        assert verify_schedule_contention_free(sched)
+        assert verify_2d_schedule_complete(sched)
+
+
+class TestClassTable:
+    def test_tables_consistent_with_layouts(self):
+        table = build_class_table(nblocks=12, P=2, Q=3)
+        assert table["initial"] == [g % 2 for g in range(12)]
+        assert table["final"] == [g % 3 for g in range(12)]
+
+    def test_destination_table_rows_are_steps(self):
+        table = build_class_table(nblocks=12, P=2, Q=3)
+        sched = build_1d_schedule(12, 2, 3)
+        for step_idx, step in enumerate(sched.steps):
+            for msg in step:
+                assert table["destination"][(msg.src, step_idx)] == msg.dst

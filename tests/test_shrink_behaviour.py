@@ -1,0 +1,102 @@
+"""Focused tests of the shrink mechanics (§3.1's second rule set)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LUApplication, MasterWorkerApplication
+from repro.cluster import MachineSpec
+from repro.core import JobState, ReshapeFramework
+
+
+def test_shrink_only_to_previously_visited_configs():
+    """'Applications can only shrink to processor configurations on
+    which they have previously run.'"""
+    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8))
+    first = LUApplication(480, block=48, iterations=10)
+    second = LUApplication(480, block=48, iterations=2)
+    j1 = fw.submit(first, config=(1, 2), arrival=0.0)
+    fw.submit(second, config=(2, 3), arrival=0.2)
+    fw.run()
+    visited = []
+    shrunk_to = []
+    for change in fw.timeline.changes:
+        if change.job_id != j1.job_id:
+            continue
+        if change.reason in ("start", "expand"):
+            visited.append(change.config)
+        elif change.reason == "shrink":
+            shrunk_to.append(change.config)
+    for config in shrunk_to:
+        assert config in visited
+
+
+def test_shrink_frees_exact_processor_suffix():
+    """Survivors keep the low ranks; freed processors return to pool."""
+    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8))
+    first = LUApplication(480, block=48, iterations=10)
+    second = LUApplication(480, block=48, iterations=1)
+    j1 = fw.submit(first, config=(1, 2), arrival=0.0)
+    j2 = fw.submit(second, config=(2, 3), arrival=0.2)
+    fw.run()
+    assert j1.state == j2.state == JobState.FINISHED
+    # At j2's start everything it used had been freed by j1's shrink.
+    assert j2.start_time is not None
+
+
+def test_departing_ranks_data_rescued():
+    """Shrink redistributes data off the departing processors first."""
+    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8))
+    app = LUApplication(480, block=48, iterations=10, materialized=True)
+    j1 = fw.submit(app, config=(1, 2), arrival=0.0)
+    fw.submit(LUApplication(480, block=48, iterations=1),
+              config=(2, 3), arrival=0.2)
+    fw.run()
+    rng = np.random.default_rng(1234)
+    ref = rng.standard_normal((480, 480))
+    np.testing.assert_allclose(j1.data["A"].to_global(), ref)
+
+
+def test_masterworker_shrinks_for_queue_without_data_cost():
+    fw = ReshapeFramework(num_processors=10,
+                          spec=MachineSpec(num_nodes=10))
+    mw = MasterWorkerApplication(int(2e10), iterations=12)
+    mw.units_per_iteration = 400
+    mw.chunk_size = 50
+    j1 = fw.submit(mw, config=(1, 4), arrival=0.0)
+    j2 = fw.submit(LUApplication(480, block=48, iterations=2),
+                   config=(2, 3), arrival=1.0)
+    fw.run()
+    assert j1.state == j2.state == JobState.FINISHED
+    shrinks = [c for c in fw.timeline.changes
+               if c.reason == "shrink" and c.job_id == j1.job_id]
+    assert shrinks, "master-worker should shrink for the queued LU"
+    assert j1.redistribution_time == 0.0
+
+
+def test_shrink_to_starting_set_when_cannot_free_enough():
+    """'...the Remap Scheduler will shrink the application to its
+    smallest shrink point (i.e., its starting processor set).'"""
+    fw = ReshapeFramework(num_processors=12,
+                          spec=MachineSpec(num_nodes=12))
+    first = LUApplication(480, block=48, iterations=14)
+    # The queued job is too big to ever start: the running job still
+    # falls back to its starting configuration.
+    blocked = LUApplication(960, block=96, iterations=1)
+    j1 = fw.submit(first, config=(1, 2), arrival=0.0)
+    j2 = fw.submit(blocked, config=(3, 4), arrival=0.2)
+    fw.run(until=200.0)
+    shrinks = [c for c in fw.timeline.changes
+               if c.reason == "shrink" and c.job_id == j1.job_id]
+    assert shrinks
+    assert shrinks[-1].config == (1, 2)
+
+
+def test_static_never_shrinks():
+    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8),
+                          dynamic=False)
+    fw.submit(LUApplication(480, block=48, iterations=6), config=(2, 2))
+    fw.submit(LUApplication(480, block=48, iterations=2), config=(2, 2),
+              arrival=0.1)
+    fw.run()
+    reasons = {c.reason for c in fw.timeline.changes}
+    assert "shrink" not in reasons and "expand" not in reasons

@@ -1,0 +1,191 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.simulate import Environment, Resource, SimulationError, Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        yield store.put("x")
+        yield env.timeout(1.0)
+        yield store.put("y")
+
+    def consumer():
+        a = yield store.get()
+        got.append((env.now, a))
+        b = yield store.get()
+        got.append((env.now, b))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [(0.0, "x"), (1.0, "y")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5.0)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        yield store.put(("tag", 1))
+        yield store.put(("other", 2))
+        yield store.put(("tag", 3))
+
+    def consumer():
+        m = yield store.get(lambda it: it[0] == "other")
+        got.append(m)
+        m = yield store.get(lambda it: it[0] == "tag")
+        got.append(m)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [("other", 2), ("tag", 1)]
+    assert list(store.items) == [("tag", 3)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    events = []
+
+    def producer():
+        yield store.put("a")
+        events.append(("put-a", env.now))
+        yield store.put("b")
+        events.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(4.0)
+        item = yield store.get()
+        events.append(("got-" + item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 4.0) in events  # blocked until the get freed a slot
+
+
+def test_store_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_resource_serializes_two_users():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        start = env.now
+        yield env.timeout(hold)
+        res.release(req)
+        spans.append((tag, start, env.now))
+
+    env.process(user("a", 3.0))
+    env.process(user("b", 2.0))
+    env.run()
+    assert spans == [("a", 0.0, 3.0), ("b", 3.0, 5.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    spans = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        spans.append((tag, env.now))
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for tag in ("a", "b", "c"):
+        env.process(user(tag))
+    env.run()
+    # a and b start together, c waits for a slot.
+    assert spans == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_release_unknown_request_rejected():
+    env = Environment()
+    r1 = Resource(env)
+    r2 = Resource(env)
+    req = r1.request()
+    env.run()
+    with pytest.raises(SimulationError):
+        r2.release(req)
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()  # granted immediately
+    waiting = res.request()  # queued
+    env.run()
+    assert res.queued == 1
+    res.release(waiting)  # cancel before grant
+    assert res.queued == 0
+    res.release(held)
+    assert res.count == 0
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=3)
+    reqs = [res.request() for _ in range(5)]
+    env.run()
+    assert res.count == 3
+    assert res.queued == 2
+    res.release(reqs[0])
+    assert res.count == 3  # next in line granted
+    assert res.queued == 1

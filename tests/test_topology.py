@@ -1,0 +1,139 @@
+"""Unit + property tests for processor-grid topology arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.topology import (
+    config_size,
+    divides_evenly,
+    factor_nearly_square,
+    grow_nearly_square,
+    legal_configs_for,
+    next_larger_config,
+    next_smaller_config,
+    parse_config,
+)
+
+
+class TestFactorNearlySquare:
+    def test_examples(self):
+        assert factor_nearly_square(1) == (1, 1)
+        assert factor_nearly_square(12) == (3, 4)
+        assert factor_nearly_square(25) == (5, 5)
+        assert factor_nearly_square(40) == (5, 8)
+        assert factor_nearly_square(7) == (1, 7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factor_nearly_square(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_property_factors_and_order(self, p):
+        pr, pc = factor_nearly_square(p)
+        assert pr * pc == p
+        assert pr <= pc
+        # pr is the largest divisor <= sqrt(p)
+        for d in range(pr + 1, int(p**0.5) + 1):
+            assert p % d != 0
+
+
+class TestGrowNearlySquare:
+    def test_paper_sequence(self):
+        """The LU 12000 growth path from Figure 3(a): 1x2 -> ... -> 4x4."""
+        grid = (1, 2)
+        seen = [grid]
+        for _ in range(5):
+            grid = grow_nearly_square(*grid)
+            seen.append(grid)
+        assert seen == [(1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4)]
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grow_nearly_square(0, 3)
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=50))
+    def test_property_grows_by_smaller_dim(self, pr, pc):
+        npr, npc = grow_nearly_square(pr, pc)
+        assert npr <= npc
+        # Incrementing the smaller dimension adds a full row/column of
+        # the larger dimension's length.
+        assert npr * npc == pr * pc + max(pr, pc)
+        # Squareness never gets worse.
+        assert abs(npr - npc) <= abs(pr - pc) + 1
+
+
+class TestDividesEvenly:
+    def test_examples(self):
+        assert divides_evenly(8000, (4, 5))
+        assert divides_evenly(12000, (6, 8))
+        assert not divides_evenly(14000, (3, 4))  # 3 does not divide 14000
+
+
+class TestParseConfig:
+    def test_grid(self):
+        assert parse_config("4x5") == (4, 5)
+        assert parse_config(" 2X3 ") == (2, 3)
+
+    def test_flat(self):
+        assert parse_config("20") == (1, 20)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            parse_config("0x4")
+
+
+class TestLegalConfigs:
+    def test_flat_divisors(self):
+        configs = legal_configs_for(8000, 50, topology="flat", min_procs=4)
+        sizes = [config_size(c) for c in configs]
+        # Table 2, Jacobi row: 4, 8, 10, 16, 20, 32, 40, 50
+        for expected in (4, 8, 10, 16, 20, 32, 40, 50):
+            assert expected in sizes
+        assert all(8000 % s == 0 for s in sizes)
+
+    def test_grid_configs_divide(self):
+        configs = legal_configs_for(14000, 50, topology="grid")
+        assert (5, 7) in configs
+        assert (7, 7) in configs
+        for pr, pc in configs:
+            assert 14000 % pr == 0 and 14000 % pc == 0
+            assert pr <= pc <= 2 * pr
+
+    def test_sorted_by_size(self):
+        configs = legal_configs_for(24000, 50, topology="grid")
+        sizes = [config_size(c) for c in configs]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            legal_configs_for(100, 10, topology="ring")
+
+    @given(st.sampled_from([8000, 12000, 14000, 16000, 20000, 21000, 24000]),
+           st.integers(min_value=4, max_value=64))
+    def test_property_all_dims_divide(self, n, max_procs):
+        for pr, pc in legal_configs_for(n, max_procs, topology="grid"):
+            assert n % pr == 0 and n % pc == 0
+            assert pr * pc <= max_procs
+
+
+class TestNextConfig:
+    CONFIGS = [(1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4), (4, 5),
+               (5, 5), (5, 6), (6, 6), (6, 8)]
+
+    def test_next_larger_respects_availability(self):
+        nxt = next_larger_config(self.CONFIGS, (2, 2), available=2)
+        assert nxt == (2, 3)
+        nxt = next_larger_config(self.CONFIGS, (2, 2), available=1)
+        assert nxt is None
+
+    def test_next_larger_none_at_top(self):
+        assert next_larger_config(self.CONFIGS, (6, 8), available=100) is None
+
+    def test_next_smaller(self):
+        assert next_smaller_config(self.CONFIGS, (4, 4)) == (3, 4)
+        assert next_smaller_config(self.CONFIGS, (1, 2)) is None
+
+    def test_paper_shrink_16_to_12(self):
+        """Figure 3(a): the 4x4 expansion did not pay; shrink to 3x4."""
+        assert next_smaller_config(self.CONFIGS, (4, 4)) == (3, 4)

@@ -1,0 +1,136 @@
+"""Tests for workload configuration and the synthetic generator."""
+
+import pytest
+
+from repro.cluster.topology import config_size
+from repro.core import ReshapeFramework
+from repro.workloads import (
+    PROCESSOR_CONFIGS,
+    WORKLOAD1,
+    WORKLOAD2,
+    WorkloadGenerator,
+    build_workload1,
+    make_application,
+)
+from repro.workloads.paper import (
+    WORKLOAD1_PROCESSORS,
+    WORKLOAD2_PROCESSORS,
+)
+
+
+class TestTable2Configs:
+    def test_all_rows_divide_problem_size(self):
+        for (app, n), configs in PROCESSOR_CONFIGS.items():
+            for pr, pc in configs:
+                if app in ("LU", "MM"):
+                    assert n % pr == 0 and n % pc == 0, (app, n, pr, pc)
+
+    def test_sizes_within_cluster(self):
+        for configs in PROCESSOR_CONFIGS.values():
+            assert all(config_size(c) <= 50 for c in configs)
+
+    def test_jacobi_row_matches_paper(self):
+        sizes = [config_size(c)
+                 for c in PROCESSOR_CONFIGS[("Jacobi", 8000)]]
+        assert sizes == [4, 8, 10, 16, 20, 32, 40, 50]
+
+    def test_fft_row_matches_paper(self):
+        sizes = [config_size(c) for c in PROCESSOR_CONFIGS[("FFT", 8192)]]
+        assert sizes == [2, 4, 8, 16, 32]
+
+    def test_lu12000_row_matches_paper(self):
+        sizes = [config_size(c)
+                 for c in PROCESSOR_CONFIGS[("LU", 12000)]]
+        assert sizes == [2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 48]
+
+
+class TestMakeApplication:
+    def test_pins_table2_configs(self):
+        app = make_application("lu", 12000)
+        assert app.legal_configs(50) == PROCESSOR_CONFIGS[("LU", 12000)]
+
+    def test_respects_max_procs(self):
+        app = make_application("lu", 12000)
+        assert all(config_size(c) <= 20 for c in app.legal_configs(20))
+
+    def test_jacobi_calibration_applied(self):
+        from repro.workloads.paper import JACOBI_SWEEPS
+        app = make_application("jacobi", 8000)
+        assert app.inner_sweeps == JACOBI_SWEEPS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_application("quicksort", 100)
+
+
+class TestWorkloadSpecs:
+    def test_w1_matches_table4_initial_allocs(self):
+        initial = {s.label: config_size(s.initial_config)
+                   for s in WORKLOAD1}
+        assert initial == {"LU": 6, "MM": 8, "Master-worker": 2,
+                           "Jacobi": 4, "2D FFT": 4}
+
+    def test_w1_arrivals(self):
+        arrivals = {s.label: s.arrival for s in WORKLOAD1}
+        assert arrivals["LU"] == 0.0
+        assert arrivals["Master-worker"] == 450.0
+        assert arrivals["Jacobi"] == arrivals["2D FFT"] == 465.0
+
+    def test_w2_matches_table5_initial_allocs(self):
+        initial = {s.label: config_size(s.initial_config)
+                   for s in WORKLOAD2}
+        assert initial == {"LU": 16, "Jacobi": 10, "Master-worker": 6,
+                           "2D FFT": 4}
+
+    def test_w1_fits_experiment(self):
+        peak = sum(config_size(s.initial_config) for s in WORKLOAD1)
+        assert peak <= WORKLOAD1_PROCESSORS + 10  # staggered arrivals
+        assert WORKLOAD2_PROCESSORS == 36
+
+    def test_build_workload1_submits_all(self):
+        fw = ReshapeFramework(num_processors=WORKLOAD1_PROCESSORS,
+                              dynamic=False)
+        jobs = build_workload1(fw, iterations=1)
+        assert set(jobs) == {"LU", "MM", "Master-worker", "Jacobi",
+                             "2D FFT"}
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_for_seed(self):
+        a = WorkloadGenerator(seed=3).generate(10)
+        b = WorkloadGenerator(seed=3).generate(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1).generate(10)
+        b = WorkloadGenerator(seed=2).generate(10)
+        assert a != b
+
+    def test_arrivals_monotone(self):
+        specs = WorkloadGenerator(seed=5).generate(20)
+        arrivals = [s.arrival for s in specs]
+        assert arrivals == sorted(arrivals)
+
+    def test_max_initial_respected(self):
+        specs = WorkloadGenerator(seed=7, max_initial=4).generate(30)
+        assert all(config_size(s.initial_config) <= 4 for s in specs)
+
+    def test_kind_filter(self):
+        specs = WorkloadGenerator(seed=1, kinds=["lu"]).generate(10)
+        assert all(s.kind == "lu" for s in specs)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(kinds=["nope"]).generate(1)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator().generate(0)
+
+    def test_generated_mix_runs(self):
+        gen = WorkloadGenerator(seed=11, max_initial=8,
+                                mean_interarrival=5.0,
+                                kinds=["masterworker"])
+        specs = gen.generate(3)
+        fw = ReshapeFramework(num_processors=16)
+        jobs = gen.submit_all(fw, specs, iterations=2)
+        fw.run()
+        assert all(j.turnaround is not None for j in jobs.values())
