@@ -1,0 +1,246 @@
+"""Micro-benchmark: redistribution data-path throughput (host wall-clock).
+
+Measures, on the paper's 12000^2 LU matrix cut into 120x120 blocks, the
+three layers the vectorization PR touched, each against the per-block
+loop reference implementation it replaced:
+
+* **schedule build** — cold circulant construction vs the LRU-cached
+  lookup that repeated resize points hit;
+* **bookkeeping** — per-message byte counting (the part of the data path
+  that runs in *every* mode, phantom included) block-by-block vs
+  vectorized + cached;
+* **pack/unpack** — the materialized-mode copy path, per-block slices vs
+  one numpy gather/scatter per aggregated message.  This one is memory-
+  bandwidth-bound at 100x100-element blocks, so its speedup is reported
+  as observed throughput, not asserted.
+
+Results go to ``BENCH_redist.json`` at the repository root (and a
+human-readable table under ``benchmarks/results/``).  ``BENCH_SMOKE=1``
+shrinks the problem for CI and skips the speedup assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.blacs import ProcessGrid
+from repro.cluster import Machine, MachineSpec
+from repro.darray import Descriptor, DistributedMatrix
+from repro.metrics import format_table
+from repro.mpi import World
+from repro.redist import redistribute
+from repro.redist.redistribute import (
+    _message_nbytes,
+    _message_nbytes_loop,
+    _pack_blocks_loop,
+    _unpack_blocks_loop,
+)
+from repro.redist.schedule import build_2d_schedule
+from repro.redist.tables import cached_2d_schedule, cached_2d_traffic
+from repro.simulate import Environment
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: The paper's Figure 3(a) trace: the 12000^2 LU job walking through
+#: its processor configurations; every hop is one redistribution.
+RESIZE_SEQUENCE = [(1, 4), (2, 3), (2, 4), (3, 3), (3, 4), (4, 4)]
+
+#: Full runs refresh the committed artifact at the repo root; smoke
+#: runs (CI) write next to the other benchmark outputs so they never
+#: clobber the committed full-scale numbers.
+_ROOT = pathlib.Path(__file__).parents[1]
+JSON_PATH = (_ROOT / "benchmarks" / "results" / "BENCH_redist_smoke.json"
+             if SMOKE else _ROOT / "BENCH_redist.json")
+
+
+def _problem():
+    if SMOKE:
+        return 1200, 50        # 24x24 blocks
+    return 12000, 100          # 120x120 blocks
+
+
+def bookkeeping_sweep(desc, pairs, *, loop: bool) -> None:
+    """One resize-point pass: build every schedule and count every
+    message's bytes twice (send and receive side), as the driver does."""
+    for old, new in pairs:
+        if loop:
+            sched = build_2d_schedule(desc.row_blocks, desc.col_blocks,
+                                      old, new)
+            for msg in sched.messages:
+                _message_nbytes_loop(desc, msg)
+                _message_nbytes_loop(desc, msg)
+        else:
+            sched = cached_2d_schedule(desc.row_blocks, desc.col_blocks,
+                                       old, new)
+            cached_2d_traffic(desc.row_blocks, desc.col_blocks, old, new,
+                              desc.m, desc.n, desc.mb, desc.nb,
+                              desc.itemsize)
+            for msg in sched.messages:
+                _message_nbytes(desc, msg)
+                _message_nbytes(desc, msg)
+
+
+def test_perf_redistribution_data_path(report):
+    n, block = _problem()
+    old_grid, new_grid = ProcessGrid(2, 2), ProcessGrid(2, 3)
+    desc = Descriptor(m=n, n=n, mb=block, nb=block, grid=old_grid)
+    new_desc = desc.with_grid(new_grid)
+    pairs = [(a, b) for a, b in zip(RESIZE_SEQUENCE, RESIZE_SEQUENCE[1:])]
+    pairs.append((old_grid.shape, new_grid.shape))
+
+    # -- schedule build: cold vs cached --------------------------------
+    reps = 3 if SMOKE else 10
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        build_2d_schedule(desc.row_blocks, desc.col_blocks,
+                          old_grid.shape, new_grid.shape)
+    t_sched_cold = (time.perf_counter() - t0) / reps
+    cached_2d_schedule(desc.row_blocks, desc.col_blocks,
+                       old_grid.shape, new_grid.shape)  # prime
+    t0 = time.perf_counter()
+    for _ in range(reps * 100):
+        cached_2d_schedule(desc.row_blocks, desc.col_blocks,
+                           old_grid.shape, new_grid.shape)
+    t_sched_cached = (time.perf_counter() - t0) / (reps * 100)
+
+    # -- bookkeeping: loop vs vectorized + cached ----------------------
+    sweeps = 2 if SMOKE else 10
+    t0 = time.perf_counter()
+    for _ in range(sweeps):
+        bookkeeping_sweep(desc, pairs, loop=True)
+    t_book_loop = (time.perf_counter() - t0) / sweeps
+    bookkeeping_sweep(desc, pairs, loop=False)  # prime the caches
+    t0 = time.perf_counter()
+    for _ in range(sweeps):
+        bookkeeping_sweep(desc, pairs, loop=False)
+    t_book_vec = (time.perf_counter() - t0) / sweeps
+
+    # -- pack/unpack: loop vs vectorized (materialized copies) ---------
+    src = DistributedMatrix(desc)
+    for r in range(old_grid.size):
+        loc = src.local(r)
+        loc[:] = np.add.outer(np.arange(loc.shape[0], dtype=np.float64),
+                              np.arange(loc.shape[1], dtype=np.float64))
+    schedule = build_2d_schedule(desc.row_blocks, desc.col_blocks,
+                                 old_grid.shape, new_grid.shape)
+    routed = [(msg, old_grid.rank_of(*msg.src), new_grid.rank_of(*msg.dst))
+              for msg in schedule.messages]
+
+    t_loop_target = DistributedMatrix(new_desc)
+    t_vec_target = DistributedMatrix(new_desc)
+
+    def run_loop():
+        for msg, sr, dr in routed:
+            _unpack_blocks_loop(t_loop_target, dr,
+                                _pack_blocks_loop(src, sr, msg))
+
+    def run_vec():
+        for msg, sr, dr in routed:
+            t_vec_target.unpack_rect(dr, msg.row_blocks, msg.col_blocks,
+                                     src.pack_rect(sr, msg.row_blocks,
+                                                   msg.col_blocks))
+
+    # Two alternating rounds each; the minimum discounts first-touch
+    # page faults and scheduler noise on a shared host.
+    t_pack_loop = float("inf")
+    t_pack_vec = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        run_loop()
+        t_pack_loop = min(t_pack_loop, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_vec()
+        t_pack_vec = min(t_pack_vec, time.perf_counter() - t0)
+
+    for r in range(new_grid.size):
+        np.testing.assert_array_equal(t_loop_target.local(r),
+                                      t_vec_target.local(r))
+
+    # -- end-to-end: the full simulated redistribution (phantom) -------
+    env = Environment()
+    machine = Machine(env, MachineSpec(num_nodes=16))
+    world = World(env, machine, launch_overhead=0.0)
+    phantom = DistributedMatrix(desc, materialized=False)
+    sim = {}
+
+    def main(comm):
+        res = yield from redistribute(comm, phantom, new_grid)
+        sim[comm.rank] = res
+
+    world.launch(main, processors=list(range(new_grid.size)))
+    t0 = time.perf_counter()
+    env.run()
+    t_end_to_end = time.perf_counter() - t0
+
+    payload_gb = desc.global_nbytes / 1e9
+    results = {
+        "matrix": n,
+        "block": block,
+        "blocks_per_dim": desc.row_blocks,
+        "grids": [list(old_grid.shape), list(new_grid.shape)],
+        "smoke": SMOKE,
+        "schedule_build": {
+            "cold_s": t_sched_cold,
+            "cached_s": t_sched_cached,
+            "speedup": t_sched_cold / max(t_sched_cached, 1e-12),
+        },
+        "bookkeeping": {
+            "loop_s": t_book_loop,
+            "vectorized_s": t_book_vec,
+            "speedup": t_book_loop / max(t_book_vec, 1e-12),
+        },
+        "pack_unpack": {
+            "loop_s": t_pack_loop,
+            "vectorized_s": t_pack_vec,
+            "loop_GBps": payload_gb / t_pack_loop,
+            "vectorized_GBps": payload_gb / t_pack_vec,
+            "speedup": t_pack_loop / max(t_pack_vec, 1e-12),
+        },
+        "end_to_end_phantom": {
+            "wallclock_s": t_end_to_end,
+            "simulated_s": sim[0].elapsed,
+        },
+        # Headline number: the schedule/byte-count bookkeeping that runs
+        # in every mode (the copy path is memory-bandwidth-bound and is
+        # reported as throughput above).
+        "speedup": t_book_loop / max(t_book_vec, 1e-12),
+        "speedup_definition": (
+            "per-block loop vs vectorized+cached schedule and byte-count "
+            "bookkeeping over the Fig 3(a) resize sequence"),
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = [
+        ["schedule build", f"{t_sched_cold * 1e3:.3f}",
+         f"{t_sched_cached * 1e3:.3f}",
+         f"{results['schedule_build']['speedup']:.1f}x"],
+        ["bookkeeping", f"{t_book_loop * 1e3:.3f}",
+         f"{t_book_vec * 1e3:.3f}",
+         f"{results['bookkeeping']['speedup']:.1f}x"],
+        ["pack+unpack", f"{t_pack_loop * 1e3:.3f}",
+         f"{t_pack_vec * 1e3:.3f}",
+         f"{results['pack_unpack']['speedup']:.1f}x"],
+    ]
+    report(format_table(
+        ["stage", "loop (ms)", "vectorized (ms)", "speedup"], rows,
+        title=f"Redistribution data path — {n}^2, {block}x{block} blocks"
+              f" ({'smoke' if SMOKE else 'full'})"))
+    report(f"end-to-end phantom simulation: {t_end_to_end * 1e3:.1f} ms "
+           f"host for {sim[0].elapsed:.3f} s simulated")
+    report.flush("BENCH_redist_smoke" if SMOKE else "BENCH_redist")
+
+    assert results["speedup"] > 0
+    if not SMOKE:
+        # Acceptance: the bookkeeping data path of the 12000^2, 120-block
+        # redistribution is at least 5x faster than the loop reference.
+        assert results["speedup"] >= 5.0, results
+        assert results["schedule_build"]["speedup"] >= 5.0, results
+        # The copy path must never regress below the loop implementation
+        # by more than measurement noise (it is memory-bandwidth-bound,
+        # so parity is the expectation, not a large win).
+        assert t_pack_vec <= t_pack_loop * 1.5, results

@@ -17,7 +17,7 @@ from repro.apps.base import AppContext, Application
 from repro.blacs import ProcessGrid
 from repro.core import ReshapeFramework
 from repro.darray import Descriptor, DistributedMatrix, numroc
-from repro.darray.blockcyclic import local_to_global
+from repro.darray.blockcyclic import cyclic_global_indices
 from repro.mpi import Phantom, SUM
 
 
@@ -82,8 +82,7 @@ class PowerIteration(Application):
         for _ in range(self.sweeps_per_iteration):
             yield from ctx.charge(2.0 * lm * n)     # local strip matvec
             if a.materialized:
-                rows = [local_to_global(i, myrow, desc.mb, 0, pr)
-                        for i in range(lm)]
+                rows = cyclic_global_indices(n, desc.mb, myrow, 0, pr)
                 piece = (rows, a.local(ctx.comm.rank) @ x)
             else:
                 piece = Phantom(lm * 8)

@@ -129,13 +129,13 @@ class ResizeContext:
         # Old BLACS context is exited; the merged set rebuilds everything.
         if self.ctx.blacs is not None:
             self.ctx.blacs.exit()
-        new_ctx, elapsed, nbytes = yield from _rebuild_on(
+        new_ctx, elapsed, moved, payload = yield from _rebuild_on(
             merged, self.framework, self.job, decision.new_config)
         if merged.rank == 0:
             self.framework.notify_resized(
                 self.job, old_config, decision.new_config, "expand",
-                nbytes=nbytes, elapsed=elapsed,
-                added=decision.added_processors)
+                nbytes_payload=payload, nbytes_moved=moved,
+                elapsed=elapsed, added=decision.added_processors)
         self.last_redistribution_time = elapsed
         self.ctx = new_ctx
         return True
@@ -148,7 +148,7 @@ class ResizeContext:
         new_grid = ProcessGrid(*decision.new_config)
         q = new_grid.size
         # Data moves first, over the *old* (larger) communicator.
-        elapsed, nbytes, new_data = yield from _redistribute_all(
+        elapsed, moved, payload, new_data = yield from _redistribute_all(
             old_comm, self.framework, self.job, new_grid)
         # Survivors build the smaller communicator; the old context dies.
         if self.ctx.blacs is not None:
@@ -158,7 +158,8 @@ class ResizeContext:
             _swap_job_data(self.job, new_data)
             self.framework.notify_resized(
                 self.job, old_config, decision.new_config, "shrink",
-                nbytes=nbytes, elapsed=elapsed)
+                nbytes_payload=payload, nbytes_moved=moved,
+                elapsed=elapsed)
         if sub is None:
             # This process was relinquished; it terminates with the old
             # BLACS context (Fig 1(b), shrink path).
@@ -173,7 +174,7 @@ class ResizeContext:
     def redistribute_data(self, comm: Comm,
                           new_grid: ProcessGrid) -> Generator:
         """Redistribute every global array onto ``new_grid`` (advanced)."""
-        elapsed, nbytes, new_data = yield from _redistribute_all(
+        elapsed, _moved, _payload, new_data = yield from _redistribute_all(
             comm, self.framework, self.job, new_grid)
         if comm.rank == 0:
             _swap_job_data(self.job, new_data)
@@ -188,10 +189,19 @@ class ResizeContext:
 
 def _redistribute_all(comm: Comm, framework, job,
                       new_grid: ProcessGrid) -> Generator:
-    """Redistribute each DistributedMatrix in the job's data dict."""
+    """Redistribute each DistributedMatrix in the job's data dict.
+
+    Returns ``(elapsed, bytes_moved, payload_nbytes, new_data)`` —
+    ``bytes_moved`` is the wire traffic the schedules actually generated
+    (summed over all ranks; local copies excluded), ``payload_nbytes``
+    the total size of the redistributed arrays.  Reporting the payload
+    as traffic would overcount: data that stays on its processor never
+    touches the network.
+    """
     method = _REDIST_METHODS[framework.redistribution_method]
     elapsed = 0.0
-    nbytes = 0
+    moved = 0
+    payload = 0
     new_data: dict = {}
     for key in sorted(job.data):
         value = job.data[key]
@@ -199,10 +209,11 @@ def _redistribute_all(comm: Comm, framework, job,
             result = yield from method(comm, value, new_grid)
             new_data[key] = result.matrix
             elapsed += result.elapsed
-            nbytes += value.desc.global_nbytes
+            moved += result.total_bytes_moved
+            payload += result.payload_nbytes
         else:
             new_data[key] = value
-    return elapsed, nbytes, new_data
+    return elapsed, moved, payload, new_data
 
 
 def _swap_job_data(job, new_data: dict) -> None:
@@ -216,17 +227,18 @@ def _rebuild_on(comm: Comm, framework, job,
     """Post-expansion rebuild: new BLACS context + data redistribution.
 
     ``comm`` is the merged communicator (old ranks first).  Returns
-    ``(new AppContext, redistribution seconds, bytes redistributed)``.
+    ``(new AppContext, redistribution seconds, wire bytes moved,
+    payload bytes redistributed)``.
     """
     new_grid = ProcessGrid(*new_config)
-    elapsed, nbytes, new_data = yield from _redistribute_all(
+    elapsed, moved, payload, new_data = yield from _redistribute_all(
         comm, framework, job, new_grid)
     if comm.rank == 0:
         _swap_job_data(job, new_data)
     blacs = yield from BlacsContext.create(comm, *new_config)
     assert blacs is not None
     ctx = AppContext(blacs.comm, blacs, job.data, framework.machine)
-    return ctx, elapsed, nbytes
+    return ctx, elapsed, moved, payload
 
 
 # ---------------------------------------------------------------------------
@@ -242,7 +254,9 @@ def resizable_main(comm: Comm, framework, job) -> Generator:
 
     Application exceptions are converted into the paper's job-error
     signal: the per-node application monitor reports to the System
-    Monitor, which deletes the job and recovers its resources.
+    Monitor, which deletes the job and recovers its resources.  Every
+    rank reports (the per-node monitors of §3.1); the signal is
+    idempotent, so the first one wins.
     """
     assert job.config is not None
     try:
@@ -253,8 +267,7 @@ def resizable_main(comm: Comm, framework, job) -> Generator:
                              iteration=job.iterations_done)
         yield from _iteration_loop(rctx)
     except Exception as err:  # noqa: BLE001 - converted into a signal
-        if comm.rank == 0:
-            framework.job_error(job, repr(err))
+        framework.job_error(job, repr(err))
         return
 
 
@@ -267,12 +280,21 @@ def _spawned_child_main(comm: Comm, framework, job,
     performs code-specific local initialization (here: joining the
     collective rebuild) and then enters the iteration loop in step with
     the parents.
+
+    Application errors convert into the job-error signal exactly as in
+    :func:`resizable_main` — a spawned rank crashing must still reach
+    the System Monitor, or the job's processors are never reclaimed and
+    the application scheduler stalls on a machine that looks full.
     """
-    new_ctx, _elapsed, _nbytes = yield from _rebuild_on(
-        comm, framework, job, new_config)
-    rctx = ResizeContext(framework, job, new_ctx,
-                         iteration=next_iteration)
-    yield from _iteration_loop(rctx)
+    try:
+        new_ctx, _elapsed, _moved, _payload = yield from _rebuild_on(
+            comm, framework, job, new_config)
+        rctx = ResizeContext(framework, job, new_ctx,
+                             iteration=next_iteration)
+        yield from _iteration_loop(rctx)
+    except Exception as err:  # noqa: BLE001 - converted into a signal
+        framework.job_error(job, repr(err))
+        return
 
 
 def _iteration_loop(rctx: ResizeContext) -> Generator:

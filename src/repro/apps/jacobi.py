@@ -16,7 +16,7 @@ import numpy as np
 from repro.apps.base import AppContext, Application
 from repro.blacs import ProcessGrid
 from repro.darray import Descriptor, DistributedMatrix, numroc
-from repro.darray.blockcyclic import local_to_global
+from repro.darray.blockcyclic import cyclic_global_indices
 from repro.mpi import Phantom
 
 
@@ -38,9 +38,7 @@ def jacobi_sweep(ctx: AppContext, a: DistributedMatrix,
     local_update: object
     if mat and x is not None and b is not None:
         loc = a.local(me)
-        grows = np.fromiter(
-            (local_to_global(i, myrow, desc.mb, 0, pr) for i in range(lm)),
-            dtype=np.int64, count=lm)
+        grows = cyclic_global_indices(n, desc.mb, myrow, 0, pr)
         diag = loc[np.arange(lm), grows]
         r = b[grows] - loc @ x + diag * x[grows]
         local_update = (grows, r / diag)

@@ -22,7 +22,10 @@ class ConfigChange:
     job_name: str
     nprocs: int          # processor count after the change (0 = job done)
     config: Optional[tuple[int, int]]
-    reason: str          # "start" | "expand" | "shrink" | "finish"
+    #: "start" | "expand" | "shrink" | "finish" | "error".  Both job
+    #: endings drop nprocs to 0, so utilization math treats them alike;
+    #: the reason keeps failures distinguishable from successes.
+    reason: str
 
 
 @dataclass
@@ -73,6 +76,10 @@ class TimelineRecorder:
         self.changes.append(ConfigChange(time=time, job_id=job_id,
                                          job_name=job_name, nprocs=nprocs,
                                          config=config, reason=reason))
+
+    def endings(self, reason: str) -> list[ConfigChange]:
+        """Job-ending events of one kind: ``"finish"`` or ``"error"``."""
+        return [c for c in self.changes if c.reason == reason]
 
     # -- derived series ------------------------------------------------------
     def job_timelines(self) -> dict[int, JobTimeline]:

@@ -143,12 +143,20 @@ class ReshapeFramework:
 
     def notify_resized(self, job: Job, old_config: tuple[int, int],
                        new_config: tuple[int, int], action: str, *,
-                       nbytes: int, elapsed: float,
+                       nbytes_payload: int, nbytes_moved: int,
+                       elapsed: float,
                        added: Optional[list[int]] = None) -> None:
-        """Resize completed: update ownership, history and the timeline."""
+        """Resize completed: update ownership, history and the timeline.
+
+        ``nbytes_payload`` is the total payload of the redistributed
+        arrays; ``nbytes_moved`` the bytes that actually crossed the
+        wire (local copies excluded) — the profiler keeps both so cost
+        prediction can use real traffic instead of a modelled fraction.
+        """
         self.profiler.record_resize(job.job_id, action, old_config,
-                                    new_config, nbytes, elapsed,
-                                    when=self.env.now)
+                                    new_config, nbytes_payload, elapsed,
+                                    when=self.env.now,
+                                    bytes_moved=nbytes_moved)
         job.redistribution_time += elapsed
         new_size = new_config[0] * new_config[1]
         if action == "expand":
@@ -172,9 +180,17 @@ class ReshapeFramework:
         self.monitor.job_ended(job, self.env.now)
 
     def job_error(self, job: Job, error: str) -> None:
-        """Job-error signal: delete the job, recover its resources."""
+        """Job-error signal: delete the job, recover its resources.
+
+        Idempotent: several ranks of a failing job (parents and spawned
+        children alike) may all report; only the first signal acts.  The
+        timeline records a distinct ``"error"`` event (processor count 0,
+        so utilization accounting matches ``"finish"``).
+        """
+        if job.job_id not in self.monitor.running:
+            return
         self.timeline.record(self.env.now, job.job_id, job.name, 0,
-                             None, "finish")
+                             None, "error")
         self.monitor.job_failed(job, self.env.now, error=error)
 
     # ------------------------------------------------------------------

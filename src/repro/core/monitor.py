@@ -45,8 +45,13 @@ class SystemMonitor:
             self.on_resources_freed()
 
     def job_failed(self, job: Job, now: float, error: str = "") -> None:
-        """Job-error signal: delete the job and recover its resources."""
-        self.running.pop(job.job_id, None)
+        """Job-error signal: delete the job and recover its resources.
+
+        A no-op for jobs not currently running, so simultaneous error
+        signals from several ranks release the processors exactly once.
+        """
+        if self.running.pop(job.job_id, None) is None:
+            return
         job.state = JobState.FAILED
         job.end_time = now
         self.pool.release_all(job.job_id)

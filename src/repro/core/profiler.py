@@ -62,12 +62,15 @@ class PerformanceProfiler:
     def record_resize(self, job_id: int, action: str,
                       old_config: tuple[int, int],
                       new_config: tuple[int, int],
-                      nbytes: int, elapsed: float, when: float) -> None:
+                      nbytes: int, elapsed: float, when: float,
+                      bytes_moved: Optional[int] = None) -> None:
+        """Record one resize.  ``nbytes`` is the redistributed payload;
+        ``bytes_moved`` the wire traffic actually observed (optional)."""
         hist = self._jobs[job_id]
         hist.previous_config = tuple(old_config)
         hist.last_action = action
         hist.redistribution.record(old_config, new_config, nbytes,
-                                   elapsed, when)
+                                   elapsed, when, bytes_moved=bytes_moved)
 
     def forget(self, job_id: int) -> None:
         self._jobs.pop(job_id, None)

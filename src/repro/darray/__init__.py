@@ -14,7 +14,10 @@ local storage, in one of two modes:
 
 from repro.darray.blockcyclic import (
     block_owner,
+    concat_ranges,
+    cyclic_global_indices,
     global_to_local,
+    local_block_indices,
     local_blocks,
     local_to_global,
     numroc,
@@ -26,7 +29,10 @@ __all__ = [
     "Descriptor",
     "DistributedMatrix",
     "block_owner",
+    "concat_ranges",
+    "cyclic_global_indices",
     "global_to_local",
+    "local_block_indices",
     "local_blocks",
     "local_to_global",
     "numroc",

@@ -4,9 +4,18 @@ All functions work on one dimension at a time; 2-D layouts apply them to
 rows and columns independently.  Conventions match ScaLAPACK: ``n``
 global elements in blocks of ``nb``, dealt round-robin to ``nprocs``
 processes starting at process ``isrc``.
+
+The scalar routines (``numroc``, ``global_to_local``, ...) are the
+faithful ports; the array routines below them are their vectorized
+counterparts used on the redistribution hot path, where per-element
+Python loops would dominate the simulation wall-clock.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
 
 
 def numroc(n: int, nb: int, iproc: int, isrc: int, nprocs: int) -> int:
@@ -73,4 +82,94 @@ def local_blocks(n: int, nb: int, iproc: int, isrc: int,
         length = min(nb, n - gstart)
         if length > 0:
             out.append((gblock, gstart, length))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# vectorized counterparts (redistribution hot path)
+# ---------------------------------------------------------------------------
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``
+    without the Python loop.  Zero-length ranges contribute nothing."""
+    starts = np.asarray(starts, dtype=np.intp)
+    lengths = np.asarray(lengths, dtype=np.intp)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    # Offset of each output element within its own range.
+    ends = np.cumsum(lengths)
+    within = np.arange(total, dtype=np.intp) - np.repeat(ends - lengths,
+                                                         lengths)
+    return np.repeat(starts, lengths) + within
+
+
+@lru_cache(maxsize=1024)
+def cyclic_global_indices(n: int, nb: int, iproc: int, isrc: int,
+                          nprocs: int) -> np.ndarray:
+    """Global element indices of ``iproc``'s local array, in storage order.
+
+    ``out[l]`` is the global index of local element ``l`` — the
+    vectorized form of ``local_to_global(l, iproc, nb, isrc, nprocs)``
+    for every local element at once.  Cached (read-only) because the
+    same layouts recur at every resize point.
+    """
+    nblocks = (n + nb - 1) // nb
+    mydist = (nprocs + iproc - isrc) % nprocs
+    gblocks = np.arange(mydist, nblocks, nprocs, dtype=np.intp)
+    gstarts = gblocks * nb
+    lengths = np.minimum(nb, n - gstarts)
+    out = concat_ranges(gstarts, lengths)
+    out.flags.writeable = False
+    return out
+
+
+@lru_cache(maxsize=4096)
+def local_block_spans(n: int, nb: int, blocks: tuple[int, ...],
+                      nprocs: int) -> tuple[tuple[int, int], ...]:
+    """``(local_start, length)`` of each in-range global block of an
+    ``isrc = 0`` layout, on the process owning them.
+
+    The in-range filter and the lengths depend only on the global layout
+    (``n``, ``nb``), so sender and receiver of a redistribution message
+    derive identical span lists from their own descriptors.
+    """
+    out = []
+    for block in blocks:
+        length = min(nb, n - block * nb)
+        if length > 0:
+            out.append(((block // nprocs) * nb, length))
+    return tuple(out)
+
+
+@lru_cache(maxsize=4096)
+def local_block_numbers(n: int, nb: int, blocks: tuple[int, ...],
+                        nprocs: int) -> np.ndarray:
+    """Local block numbers of the in-range global ``blocks`` on their
+    owner (``isrc = 0``), cached read-only — the index set of a
+    block-granular ``np.take``."""
+    arr = np.asarray(blocks, dtype=np.intp)
+    arr = arr[arr * nb < n]
+    out = arr // nprocs
+    out.flags.writeable = False
+    return out
+
+
+@lru_cache(maxsize=4096)
+def local_block_indices(n: int, nb: int, blocks: tuple[int, ...],
+                        nprocs: int) -> np.ndarray:
+    """Local element indices covered by global ``blocks`` on their owner.
+
+    All ``blocks`` must live on the same process of an ``isrc = 0``
+    layout (true for every redistribution message, whose blocks share
+    one (source, destination) pair).  Blocks past the global extent
+    contribute nothing.  Cached (read-only): messages repeat across
+    schedule steps and resize points.
+    """
+    arr = np.asarray(blocks, dtype=np.intp)
+    lengths = np.clip(n - arr * nb, 0, nb)
+    keep = lengths > 0
+    arr, lengths = arr[keep], lengths[keep]
+    out = concat_ranges((arr // nprocs) * nb, lengths)
+    out.flags.writeable = False
     return out

@@ -12,7 +12,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.darray.blockcyclic import local_blocks
+from repro.darray.blockcyclic import (
+    local_block_indices,
+    local_block_numbers,
+    local_block_spans,
+)
 from repro.darray.descriptor import Descriptor
 
 
@@ -63,27 +67,20 @@ class DistributedMatrix:
     @classmethod
     def from_global(cls, global_array: np.ndarray, desc: Descriptor,
                     ) -> "DistributedMatrix":
-        """Deal a global array out according to ``desc`` (materialized)."""
+        """Deal a global array out according to ``desc`` (materialized).
+
+        One gather per rank: ``local[i, j] = global[gr[i], gc[j]]`` where
+        ``gr``/``gc`` are the rank's global index tables.
+        """
         if global_array.shape != (desc.m, desc.n):
             raise ValueError(f"array shape {global_array.shape} != "
                              f"({desc.m},{desc.n})")
         dm = cls(desc, materialized=True, dtype=global_array.dtype)
         for rank in range(desc.grid.size):
             prow, pcol = desc.grid.coords(rank)
-            rows = local_blocks(desc.m, desc.mb, prow, desc.rsrc,
-                                desc.grid.pr)
-            cols = local_blocks(desc.n, desc.nb, pcol, desc.csrc,
-                                desc.grid.pc)
-            loc = dm.local(rank)
-            li = 0
-            for _rb, rstart, rlen in rows:
-                lj = 0
-                for _cb, cstart, clen in cols:
-                    loc[li:li + rlen, lj:lj + clen] = \
-                        global_array[rstart:rstart + rlen,
-                                     cstart:cstart + clen]
-                    lj += clen
-                li += rlen
+            grows = desc.global_row_indices(prow)
+            gcols = desc.global_col_indices(pcol)
+            dm.local(rank)[...] = global_array[np.ix_(grows, gcols)]
         return dm
 
     def to_global(self) -> np.ndarray:
@@ -94,19 +91,9 @@ class DistributedMatrix:
         out = np.zeros((desc.m, desc.n), dtype=self.dtype)
         for rank in range(desc.grid.size):
             prow, pcol = desc.grid.coords(rank)
-            rows = local_blocks(desc.m, desc.mb, prow, desc.rsrc,
-                                desc.grid.pr)
-            cols = local_blocks(desc.n, desc.nb, pcol, desc.csrc,
-                                desc.grid.pc)
-            loc = self.local(rank)
-            li = 0
-            for _rb, rstart, rlen in rows:
-                lj = 0
-                for _cb, cstart, clen in cols:
-                    out[rstart:rstart + rlen, cstart:cstart + clen] = \
-                        loc[li:li + rlen, lj:lj + clen]
-                    lj += clen
-                li += rlen
+            grows = desc.global_row_indices(prow)
+            gcols = desc.global_col_indices(pcol)
+            out[np.ix_(grows, gcols)] = self.local(rank)
         return out
 
     # -- block addressing within local storage ------------------------------
@@ -132,6 +119,78 @@ class DistributedMatrix:
         rlen = min(desc.mb, desc.m - brow * desc.mb)
         clen = min(desc.nb, desc.n - bcol * desc.nb)
         return slice(rstart, rstart + rlen), slice(cstart, cstart + clen)
+
+    # -- vectorized block-rectangle access (redistribution hot path) ---------
+    #
+    # The wire format of one aggregated message is a list of row strips:
+    # one 2-D array per in-range row block, its columns the in-range
+    # column blocks concatenated in message order.  Strip shapes depend
+    # only on the global layout (m, n, mb, nb), so the sender and
+    # receiver — whose grids differ — agree on the format without
+    # negotiation.  Row-strip temporaries stay small enough for the heap
+    # allocator to recycle, which keeps a cold redistribution free of
+    # the page-fault churn a monolithic buffer per message would pay.
+    def _col_plan(self, col_blocks: tuple[int, ...]):
+        """How to move this message's columns within a local strip.
+
+        Block-granular ``np.take``/assignment when every in-range column
+        block is full and the local array tiles evenly (the common
+        case); element-index gather/scatter otherwise.  Both produce
+        byte-identical strips.
+        """
+        desc = self.desc
+        if desc.rsrc != 0 or desc.csrc != 0:
+            raise NotImplementedError(
+                "block addressing assumes rsrc == csrc == 0")
+        spans = local_block_spans(desc.n, desc.nb, col_blocks,
+                                  desc.grid.pc)
+        return spans, local_block_numbers(desc.n, desc.nb, col_blocks,
+                                          desc.grid.pc)
+
+    def pack_rect(self, rank: int, row_blocks: tuple[int, ...],
+                  col_blocks: tuple[int, ...]) -> list[np.ndarray]:
+        """Gather the cross product ``row_blocks x col_blocks`` from
+        ``rank``'s local array into the message wire format (one dense
+        strip per in-range row block).
+
+        The caller must ensure ``rank`` owns every in-range block (true
+        for schedule messages).
+        """
+        desc = self.desc
+        loc = self.local(rank)
+        cspans, cblocks = self._col_plan(col_blocks)
+        rspans = local_block_spans(desc.m, desc.mb, row_blocks,
+                                   desc.grid.pr)
+        nlc = loc.shape[1]
+        if all(l == desc.nb for _s, l in cspans) and nlc % desc.nb == 0:
+            tiled = loc.reshape(loc.shape[0], nlc // desc.nb, desc.nb)
+            width = len(cspans) * desc.nb
+            return [np.take(tiled[rs:rs + rl], cblocks, axis=1)
+                    .reshape(rl, width) for rs, rl in rspans]
+        cidx = local_block_indices(desc.n, desc.nb, col_blocks,
+                                   desc.grid.pc)
+        return [loc[rs:rs + rl][:, cidx] for rs, rl in rspans]
+
+    def unpack_rect(self, rank: int, row_blocks: tuple[int, ...],
+                    col_blocks: tuple[int, ...],
+                    strips: list[np.ndarray]) -> None:
+        """Scatter a :meth:`pack_rect` payload into ``rank``'s local array."""
+        desc = self.desc
+        loc = self.local(rank)
+        cspans, cblocks = self._col_plan(col_blocks)
+        rspans = local_block_spans(desc.m, desc.mb, row_blocks,
+                                   desc.grid.pr)
+        nlc = loc.shape[1]
+        if all(l == desc.nb for _s, l in cspans) and nlc % desc.nb == 0:
+            tiled = loc.reshape(loc.shape[0], nlc // desc.nb, desc.nb)
+            for (rs, rl), strip in zip(rspans, strips):
+                tiled[rs:rs + rl][:, cblocks, :] = \
+                    strip.reshape(rl, len(cspans), desc.nb)
+            return
+        cidx = local_block_indices(desc.n, desc.nb, col_blocks,
+                                   desc.grid.pc)
+        for (rs, rl), strip in zip(rspans, strips):
+            loc[rs:rs + rl][:, cidx] = strip
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "materialized" if self.materialized else "phantom"

@@ -56,7 +56,15 @@ def checkpoint_redistribute(comm: Comm, source: DistributedMatrix,
 
     yield from comm.barrier()
     t0 = comm.env.now
-    result = RedistributionResult(matrix=target, elapsed=0.0, steps=2)
+    # Every byte of every non-root local array crosses the wire twice
+    # (funnel in, deal out) — known up front from the two layouts.
+    total_wire = sum(source.local_nbytes(r) for r in range(1, P))
+    total_wire += sum(new_desc.local_nbytes(*new_grid.coords(r))
+                      for r in range(1, Q))
+    result = RedistributionResult(matrix=target, elapsed=0.0,
+                                  total_bytes_moved=total_wire,
+                                  payload_nbytes=old_desc.global_nbytes,
+                                  steps=2)
 
     # Phase 1: funnel all local arrays to rank 0.
     if me == 0:

@@ -16,21 +16,31 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from statistics import fmean
 from typing import Optional
+
+import numpy as np
 
 
 @dataclass(frozen=True)
 class RedistributionRecord:
-    """One observed redistribution."""
+    """One observed redistribution.
+
+    ``nbytes`` is the total payload of the redistributed arrays;
+    ``bytes_moved`` the wire traffic actually observed (None for legacy
+    records, which predate the distinction).
+    """
 
     from_config: tuple[int, int]
     to_config: tuple[int, int]
     nbytes: int
     elapsed: float
     when: float
+    bytes_moved: Optional[int] = None
 
 
+@lru_cache(maxsize=1024)
 def _moved_fraction(p: int, q: int) -> float:
     """Fraction of block-cyclic data that changes processor from p to q.
 
@@ -40,8 +50,18 @@ def _moved_fraction(p: int, q: int) -> float:
     ... computed exactly by counting residue agreements.
     """
     L = math.lcm(p, q)
-    stay = sum(1 for g in range(L) if g % p == g % q)
+    g = np.arange(L, dtype=np.int64)
+    stay = int(np.count_nonzero(g % p == g % q))
     return 1.0 - stay / L
+
+
+def _wire_estimate(rec: RedistributionRecord) -> float:
+    """Wire bytes of a record: observed when known, modelled otherwise."""
+    if rec.bytes_moved is not None:
+        return float(rec.bytes_moved)
+    p = rec.from_config[0] * rec.from_config[1]
+    q = rec.to_config[0] * rec.to_config[1]
+    return rec.nbytes * _moved_fraction(p, q)
 
 
 @dataclass
@@ -53,10 +73,12 @@ class RedistributionCostLog:
         field(default_factory=lambda: defaultdict(list))
 
     def record(self, from_config: tuple[int, int], to_config: tuple[int, int],
-               nbytes: int, elapsed: float, when: float) -> None:
+               nbytes: int, elapsed: float, when: float,
+               bytes_moved: Optional[int] = None) -> None:
         rec = RedistributionRecord(from_config=tuple(from_config),
                                    to_config=tuple(to_config),
-                                   nbytes=nbytes, elapsed=elapsed, when=when)
+                                   nbytes=nbytes, elapsed=elapsed, when=when,
+                                   bytes_moved=bytes_moved)
         self.records.append(rec)
         self._by_pair[(rec.from_config, rec.to_config)].append(rec)
 
@@ -75,7 +97,7 @@ class RedistributionCostLog:
         for rec in self.records:
             p = rec.from_config[0] * rec.from_config[1]
             q = rec.to_config[0] * rec.to_config[1]
-            moved = rec.nbytes * _moved_fraction(p, q)
+            moved = _wire_estimate(rec)
             # The schedule moves data through min(p, q) busiest NICs in
             # parallel; normalize to per-wire throughput.
             wires = max(1, min(p, q))

@@ -17,11 +17,20 @@ destination) pair: the sender packs its blocks into one buffer (packing
 charged at memory bandwidth), ships it (wire time + NIC occupancy), and
 the receiver unpacks into the new local array.  Messages to self are
 local copies — packing cost only.
+
+Data path
+---------
+Packing, unpacking and byte counting run on precomputed index tables
+(:mod:`repro.redist.tables`, :mod:`repro.darray.blockcyclic`): one numpy
+gather/scatter per aggregated message instead of one Python-level copy
+per block.  The original per-block loops are kept below as ``*_loop``
+reference implementations; the equivalence tests and the
+``benchmarks/test_perf_redist.py`` micro-benchmark compare against them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 import numpy as np
@@ -32,7 +41,13 @@ from repro.mpi import ANY_SOURCE, Phantom
 from repro.mpi.comm import Comm
 from repro.mpi.datatypes import SizedPayload
 from repro.mpi.errors import MPIError
-from repro.redist.schedule import Message2D, Schedule2D, build_2d_schedule
+from repro.redist.schedule import Message2D, Schedule2D
+from repro.redist.tables import (
+    cached_2d_schedule,
+    cached_2d_traffic,
+    message_nbytes,
+    schedule_traffic,
+)
 
 #: Tag space for redistribution traffic.
 _REDIST_TAG = 1 << 20
@@ -44,14 +59,44 @@ class RedistributionResult:
 
     matrix: DistributedMatrix
     elapsed: float
+    #: Wire bytes this rank sent (excludes messages to self).
     bytes_moved: int = 0
+    #: Wire bytes of the whole redistribution, summed over every rank —
+    #: identical on all ranks, known from the schedule alone.
+    total_bytes_moved: int = 0
+    #: Total payload of the redistributed array (``desc.global_nbytes``);
+    #: the part that did not cross the wire was copied locally.
+    payload_nbytes: int = 0
     messages: int = 0
     local_copies: int = 0
     steps: int = 0
 
 
 def _message_nbytes(desc: Descriptor, msg: Message2D) -> int:
-    """Payload bytes of an aggregated message (sum of its blocks)."""
+    """Payload bytes of an aggregated message (cached table lookup)."""
+    return message_nbytes(desc.m, desc.n, desc.mb, desc.nb,
+                          desc.itemsize, msg)
+
+
+def _schedule_traffic(schedule: Schedule2D, desc: Descriptor,
+                      old_grid: ProcessGrid,
+                      new_grid: ProcessGrid) -> tuple[int, int]:
+    """``(wire_bytes, local_bytes)`` of a caller-supplied schedule (e.g.
+    the naive ablation baseline); the default schedule path goes through
+    the cached :func:`repro.redist.tables.cached_2d_traffic`."""
+    return schedule_traffic(schedule, old_grid, new_grid,
+                            desc.m, desc.n, desc.mb, desc.nb,
+                            desc.itemsize)
+
+
+# ---------------------------------------------------------------------------
+# Per-block reference implementations (the pre-vectorization data path).
+# Kept for the equivalence property tests and the micro-benchmark; the
+# driver below never calls them.
+# ---------------------------------------------------------------------------
+
+def _message_nbytes_loop(desc: Descriptor, msg: Message2D) -> int:
+    """Reference: payload bytes summed block by block."""
     total = 0
     for rb in msg.row_blocks:
         rlen = min(desc.mb, desc.m - rb * desc.mb)
@@ -65,9 +110,9 @@ def _message_nbytes(desc: Descriptor, msg: Message2D) -> int:
     return total
 
 
-def _pack_blocks(src_dm: DistributedMatrix, rank: int,
-                 msg: Message2D) -> list[tuple[int, int, np.ndarray]]:
-    """Extract the message's blocks from the sender's local array."""
+def _pack_blocks_loop(src_dm: DistributedMatrix, rank: int,
+                      msg: Message2D) -> list[tuple[int, int, np.ndarray]]:
+    """Reference: extract the message's blocks one numpy slice at a time."""
     out = []
     desc = src_dm.desc
     for rb in msg.row_blocks:
@@ -81,9 +126,9 @@ def _pack_blocks(src_dm: DistributedMatrix, rank: int,
     return out
 
 
-def _unpack_blocks(dst_dm: DistributedMatrix, rank: int,
-                   blocks: list[tuple[int, int, np.ndarray]]) -> None:
-    """Place received blocks into the receiver's local array."""
+def _unpack_blocks_loop(dst_dm: DistributedMatrix, rank: int,
+                        blocks: list[tuple[int, int, np.ndarray]]) -> None:
+    """Reference: place received blocks one numpy slice at a time."""
     for rb, cb, data in blocks:
         rs, cs = dst_dm.local_block_slices(rank, rb, cb)
         dst_dm.local(rank)[rs, cs] = data
@@ -123,15 +168,25 @@ def redistribute(comm: Comm, source: DistributedMatrix,
     target = yield from comm.bcast(target, root=0)
 
     if schedule is None:
-        schedule = build_2d_schedule(
+        schedule = cached_2d_schedule(
             old_desc.row_blocks, old_desc.col_blocks,
             old_grid.shape, new_grid.shape)
+        total_wire, _total_local = cached_2d_traffic(
+            old_desc.row_blocks, old_desc.col_blocks,
+            old_grid.shape, new_grid.shape,
+            old_desc.m, old_desc.n, old_desc.mb, old_desc.nb,
+            old_desc.itemsize)
+    else:
+        total_wire, _total_local = _schedule_traffic(
+            schedule, old_desc, old_grid, new_grid)
 
     # Synchronize entry so the measured time is the redistribution alone.
     yield from comm.barrier()
     t0 = comm.env.now
 
     result = RedistributionResult(matrix=target, elapsed=0.0,
+                                  total_bytes_moved=total_wire,
+                                  payload_nbytes=old_desc.global_nbytes,
                                   steps=schedule.num_steps)
 
     for step_idx, step in enumerate(schedule.steps):
@@ -157,18 +212,21 @@ def redistribute(comm: Comm, source: DistributedMatrix,
                 # Local copy: no wire traffic.
                 if source.materialized:
                     assert target is not None
-                    _unpack_blocks(target, me, _pack_blocks(source, me, msg))
+                    target.unpack_rect(
+                        me, msg.row_blocks, msg.col_blocks,
+                        source.pack_rect(me, msg.row_blocks,
+                                         msg.col_blocks))
                 result.local_copies += 1
                 continue
             if source.materialized:
                 payload: object = SizedPayload(
-                    nbytes, _pack_blocks(source, me, msg))
+                    nbytes, (msg, source.pack_rect(me, msg.row_blocks,
+                                                   msg.col_blocks)))
             else:
                 payload = Phantom(nbytes, meta=("redist", msg.src, msg.dst))
             pending.append(comm.isend(payload, dest=dst_rank, tag=tag))
             result.messages += 1
             result.bytes_moved += nbytes
-
         # A contention-free schedule gives each rank at most one receive
         # per step; degraded schedules (the naive ablation baseline) may
         # give several — accept them in arrival order.
@@ -180,7 +238,9 @@ def redistribute(comm: Comm, source: DistributedMatrix,
             if source.materialized:
                 assert target is not None
                 assert isinstance(payload, SizedPayload)
-                _unpack_blocks(target, me, payload.data)
+                msg, data = payload.data
+                target.unpack_rect(me, msg.row_blocks, msg.col_blocks,
+                                   data)
             # Unpacking pass through memory on the receive side.
             yield comm.env.timeout(nbytes / memory_bandwidth)
         for req in pending:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 import networkx as nx
+import numpy as np
 
 from repro.redist.tables import BlockClass, crt_block_classes
 
@@ -122,19 +123,17 @@ def build_1d_schedule(nblocks: int, P: int, Q: int) -> Schedule1D:
     """
     if P < 1 or Q < 1 or nblocks < 0:
         raise ValueError("bad schedule parameters")
+    # crt_block_classes returns classes in phase order 0..min(L, nblocks);
+    # consecutive windows of the list are exactly the phase windows.
     classes = crt_block_classes(nblocks, P, Q)
-    by_phase = {c.phase: c for c in classes}
     L = math.lcm(P, Q)
     small = min(P, Q)
     schedule = Schedule1D(P=P, Q=Q, nblocks=nblocks)
     for start in range(0, L, small):
-        step: list[Message1D] = []
-        for phase in range(start, min(start + small, L)):
-            cls = by_phase.get(phase)
-            if cls is None or cls.count == 0:
-                continue
-            step.append(Message1D(src=cls.src, dst=cls.dst,
-                                  blocks=cls.blocks))
+        step = [
+            Message1D(src=cls.src, dst=cls.dst, blocks=cls.blocks)
+            for cls in classes[start:start + small] if cls.count > 0
+        ]
         if step:
             schedule.steps.append(step)
     return schedule
@@ -245,37 +244,50 @@ def verify_schedule_contention_free(schedule: Schedule1D | Schedule2D,
 
 def verify_schedule_complete(schedule: Schedule1D) -> bool:
     """Each global block appears exactly once, routed src->dst correctly."""
-    seen: dict[int, tuple[int, int]] = {}
-    for msg in schedule.messages:
-        for g in msg.blocks:
-            if g in seen:
-                return False
-            seen[g] = (msg.src, msg.dst)
-    if set(seen) != set(range(schedule.nblocks)):
+    messages = [m for m in schedule.messages if m.blocks]
+    if not messages:
+        return schedule.nblocks == 0
+    blocks = np.concatenate([np.asarray(m.blocks, dtype=np.int64)
+                             for m in messages])
+    srcs = np.concatenate([np.full(len(m.blocks), m.src, dtype=np.int64)
+                           for m in messages])
+    dsts = np.concatenate([np.full(len(m.blocks), m.dst, dtype=np.int64)
+                           for m in messages])
+    if len(blocks) != schedule.nblocks:
         return False
-    for g, (src, dst) in seen.items():
-        if src != g % schedule.P or dst != g % schedule.Q:
-            return False
-    return True
+    if len(np.unique(blocks)) != len(blocks):
+        return False
+    if blocks.min() < 0 or blocks.max() >= schedule.nblocks:
+        return False
+    return bool(np.all(srcs == blocks % schedule.P) and
+                np.all(dsts == blocks % schedule.Q))
 
 
 def verify_2d_schedule_complete(schedule: Schedule2D) -> bool:
     """Each (row-block, col-block) pair routed exactly once, correctly."""
+    expected = schedule.row_blocks * schedule.col_blocks
+    messages = [m for m in schedule.messages
+                if m.row_blocks and m.col_blocks]
+    if not messages:
+        return expected == 0
     Pr, Pc = schedule.src_grid
     Qr, Qc = schedule.dst_grid
-    seen: dict[tuple[int, int], tuple] = {}
-    for msg in schedule.messages:
-        for rb in msg.row_blocks:
-            for cb in msg.col_blocks:
-                if (rb, cb) in seen:
-                    return False
-                seen[(rb, cb)] = (msg.src, msg.dst)
-    expected = schedule.row_blocks * schedule.col_blocks
-    if len(seen) != expected:
-        return False
-    for (rb, cb), (src, dst) in seen.items():
-        if src != (rb % Pr, cb % Pc):
+    keys = []
+    for msg in messages:
+        rb = np.asarray(msg.row_blocks, dtype=np.int64)
+        cb = np.asarray(msg.col_blocks, dtype=np.int64)
+        if (rb.min() < 0 or rb.max() >= schedule.row_blocks or
+                cb.min() < 0 or cb.max() >= schedule.col_blocks):
             return False
-        if dst != (rb % Qr, cb % Qc):
+        if not (np.all(rb % Pr == msg.src[0]) and
+                np.all(cb % Pc == msg.src[1])):
             return False
-    return True
+        if not (np.all(rb % Qr == msg.dst[0]) and
+                np.all(cb % Qc == msg.dst[1])):
+            return False
+        # Flatten the cross product to scalar keys for the global
+        # exactly-once check.
+        keys.append((rb[:, None] * schedule.col_blocks + cb[None, :]
+                     ).ravel())
+    flat = np.concatenate(keys)
+    return len(flat) == expected and len(np.unique(flat)) == expected

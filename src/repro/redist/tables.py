@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -83,3 +86,78 @@ def build_class_table(nblocks: int, P: int, Q: int) -> dict:
         for src in range(P):
             destination[(src, step_idx)] = by_src.get(src)
     return {"initial": initial, "final": final, "destination": destination}
+
+
+# ---------------------------------------------------------------------------
+# schedule / byte-count caches (redistribution hot path)
+#
+# A job hits the same resize points over and over (expand 4 -> 6, shrink
+# 6 -> 4, ...), and every experiment reuses a handful of (grid, layout)
+# pairs.  Schedules and message byte counts depend only on small hashable
+# keys, so LRU caches turn the per-resize rebuild into a lookup.
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=256)
+def cached_2d_schedule(row_blocks: int, col_blocks: int,
+                       src_grid: tuple[int, int],
+                       dst_grid: tuple[int, int]):
+    """Memoized :func:`repro.redist.schedule.build_2d_schedule`.
+
+    The returned :class:`Schedule2D` is shared — treat it as read-only.
+    """
+    from repro.redist.schedule import build_2d_schedule
+
+    return build_2d_schedule(row_blocks, col_blocks, src_grid, dst_grid)
+
+
+@lru_cache(maxsize=8192)
+def blocks_extent(n: int, nb: int, blocks: tuple[int, ...]) -> int:
+    """Total element extent of global ``blocks`` (short/overflowing blocks
+    clipped), vectorized and cached per distinct block tuple."""
+    arr = np.asarray(blocks, dtype=np.int64)
+    return int(np.clip(n - arr * nb, 0, nb).sum())
+
+
+def message_nbytes(m: int, n: int, mb: int, nb: int, itemsize: int,
+                   msg) -> int:
+    """Payload bytes of a :class:`Message2D` — the cross product of its
+    row and column block extents."""
+    return (blocks_extent(m, mb, msg.row_blocks) *
+            blocks_extent(n, nb, msg.col_blocks) * itemsize)
+
+
+def schedule_traffic(schedule, src_grid, dst_grid, m: int, n: int,
+                     mb: int, nb: int, itemsize: int) -> tuple[int, int]:
+    """``(wire_bytes, local_bytes)`` of an arbitrary 2-D schedule.
+
+    ``wire_bytes`` is what actually crosses the network summed over every
+    rank (source and destination communicator ranks differ);
+    ``local_bytes`` is the volume of messages-to-self (rank kept its
+    data — a memory copy, never network traffic).  Both grids embed
+    row-major into the communicator, exactly as the driver routes
+    messages (``ProcessGrid.rank_of``).
+    """
+    wire = 0
+    local = 0
+    for msg in schedule.messages:
+        nbytes = message_nbytes(m, n, mb, nb, itemsize, msg)
+        if src_grid.rank_of(*msg.src) == dst_grid.rank_of(*msg.dst):
+            local += nbytes
+        else:
+            wire += nbytes
+    return wire, local
+
+
+@lru_cache(maxsize=256)
+def cached_2d_traffic(row_blocks: int, col_blocks: int,
+                      src_grid: tuple[int, int], dst_grid: tuple[int, int],
+                      m: int, n: int, mb: int, nb: int,
+                      itemsize: int) -> tuple[int, int]:
+    """Memoized :func:`schedule_traffic` of the cached default schedule."""
+    from repro.blacs.grid import ProcessGrid
+
+    schedule = cached_2d_schedule(row_blocks, col_blocks,
+                                  src_grid, dst_grid)
+    return schedule_traffic(schedule, ProcessGrid(*src_grid),
+                            ProcessGrid(*dst_grid), m, n, mb, nb,
+                            itemsize)

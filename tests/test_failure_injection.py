@@ -64,7 +64,8 @@ def test_crash_does_not_block_other_jobs():
     assert follower.start_time >= crasher.end_time
 
 
-def test_crash_recorded_on_timeline():
+def test_crash_recorded_on_timeline_as_error():
+    """Failures record a distinct "error" ending, not a fake "finish"."""
     fw = ReshapeFramework(num_processors=8,
                           spec=MachineSpec(num_nodes=8), dynamic=False)
     job = fw.submit(CrashingApplication(crash_at=1, iterations=5),
@@ -72,4 +73,10 @@ def test_crash_recorded_on_timeline():
     fw.run()
     reasons = [c.reason for c in fw.timeline.changes
                if c.job_id == job.job_id]
-    assert reasons == ["start", "finish"]
+    assert reasons == ["start", "error"]
+    assert fw.timeline.endings("finish") == []
+    [ending] = fw.timeline.endings("error")
+    # The ending still drops the allocation to zero so utilization math
+    # is identical to a successful finish.
+    assert ending.nprocs == 0
+    assert 0.0 < fw.utilization() <= 1.0

@@ -1,0 +1,215 @@
+"""Regression tests for the resize-path failure and accounting fixes.
+
+* A rank spawned during an expansion that raises must reach the
+  job-error path: the System Monitor reclaims every processor the job
+  holds (including the freshly granted ones) and queued jobs still
+  start — previously the error escaped ``_spawned_child_main`` and the
+  experiment wedged with the machine looking full.
+* Redistribution metrics must report the wire traffic actually
+  generated (``RedistributionResult.total_bytes_moved``), not the whole
+  payload — local copies never touch the network.
+* The timeline must distinguish job failures (``"error"``) from
+  successes (``"finish"``).
+"""
+
+from typing import Generator
+
+import numpy as np
+import pytest
+
+from repro.apps import LUApplication
+from repro.apps.base import AppContext, Application
+from repro.blacs import ProcessGrid
+from repro.cluster import Machine, MachineSpec
+from repro.core import JobState, ReshapeFramework
+from repro.darray import Descriptor, DistributedMatrix
+from repro.mpi import World
+from repro.redist import checkpoint_redistribute, redistribute
+from repro.simulate import Environment
+
+
+class ChildCrashApplication(Application):
+    """Runs fine on its starting ranks; any rank that joins later (via
+    expansion) raises at the end of its first iteration."""
+
+    topology = "flat"
+
+    def __init__(self, initial_procs: int, **kwargs):
+        super().__init__(100, **kwargs)
+        self.initial_procs = initial_procs
+
+    @property
+    def name(self) -> str:
+        return "ChildCrasher"
+
+    def create_data(self, grid: ProcessGrid):
+        return {}
+
+    def legal_configs(self, max_procs, min_procs=1):
+        return [(1, p) for p in range(max(self.initial_procs, min_procs),
+                                      max_procs + 1)]
+
+    def iterate(self, ctx: AppContext) -> Generator:
+        yield from ctx.charge(4.4e9)  # ~1 simulated second per iteration
+        if ctx.comm.rank >= self.initial_procs:
+            raise RuntimeError("spawned child exploded")
+
+
+class NoopApplication(Application):
+    """A small well-behaved job used as the queued follower."""
+
+    topology = "flat"
+
+    def __init__(self, **kwargs):
+        super().__init__(100, **kwargs)
+
+    @property
+    def name(self) -> str:
+        return "Noop"
+
+    def create_data(self, grid: ProcessGrid):
+        return {}
+
+    def legal_configs(self, max_procs, min_procs=1):
+        return [(1, p) for p in range(max(2, min_procs), max_procs + 1)]
+
+    def iterate(self, ctx: AppContext) -> Generator:
+        yield from ctx.charge(1e6)
+
+
+def run_child_crash(with_follower: bool):
+    fw = ReshapeFramework(num_processors=6, spec=MachineSpec(num_nodes=8))
+    crasher = fw.submit(
+        ChildCrashApplication(initial_procs=3, iterations=6),
+        config=(1, 3), name="crasher")
+    follower = None
+    if with_follower:
+        # Arrives after the expansion has been granted but before the
+        # spawned child crashes, so it genuinely waits in the queue.
+        follower = fw.submit(NoopApplication(iterations=2), config=(1, 3),
+                             arrival=1.8, name="follower")
+    fw.run()
+    return fw, crasher, follower
+
+
+def test_failing_spawned_child_reaches_job_error_path():
+    fw, crasher, _ = run_child_crash(with_follower=False)
+    # The expansion genuinely happened (children were spawned)...
+    reasons = [c.reason for c in fw.timeline.changes
+               if c.job_id == crasher.job_id]
+    assert "expand" in reasons
+    # ...and the child's crash was converted into the job-error signal.
+    assert crasher.state == JobState.FAILED
+    assert fw.monitor.failed == [crasher]
+    assert reasons[-1] == "error"
+
+
+def test_failing_spawned_child_releases_all_processors():
+    fw, crasher, _ = run_child_crash(with_follower=False)
+    # Both the original allocation and the expansion grant came back.
+    assert fw.pool.free_count == fw.pool.total
+    assert crasher.processors == []
+
+
+def test_scheduler_not_stalled_queued_job_starts_after_child_crash():
+    fw, crasher, follower = run_child_crash(with_follower=True)
+    assert crasher.state == JobState.FAILED
+    # The follower was queued while the crasher held the machine, and
+    # started only once the error freed it.
+    assert follower.state == JobState.FINISHED
+    assert follower.start_time >= crasher.end_time
+    assert crasher.end_time > follower.arrival_time
+
+
+def test_error_and_finish_remain_distinct_on_shared_timeline():
+    fw, crasher, follower = run_child_crash(with_follower=True)
+    errors = fw.timeline.endings("error")
+    finishes = fw.timeline.endings("finish")
+    assert [c.job_id for c in errors] == [crasher.job_id]
+    assert [c.job_id for c in finishes] == [follower.job_id]
+    assert 0.0 < fw.utilization() <= 1.0
+
+
+def test_job_error_is_idempotent():
+    fw, crasher, _ = run_child_crash(with_follower=False)
+    before = len(fw.timeline.changes)
+    fw.job_error(crasher, "late duplicate signal")
+    assert len(fw.timeline.changes) == before
+    assert fw.monitor.failed == [crasher]
+
+
+# ---------------------------------------------------------------------------
+# bytes-moved accounting
+# ---------------------------------------------------------------------------
+
+def run_redistribution(m, n, mb, nb, old, new, *, use_checkpoint=False,
+                       materialized=True):
+    env = Environment()
+    machine = Machine(env, MachineSpec(num_nodes=16))
+    world = World(env, machine, launch_overhead=0.0)
+    desc = Descriptor(m=m, n=n, mb=mb, nb=nb, grid=ProcessGrid(*old))
+    if materialized:
+        g = np.random.default_rng(3).standard_normal((m, n))
+        dm = DistributedMatrix.from_global(g, desc)
+    else:
+        dm = DistributedMatrix(desc, materialized=False)
+    results = {}
+
+    def main(comm):
+        method = checkpoint_redistribute if use_checkpoint else redistribute
+        res = yield from method(comm, dm, ProcessGrid(*new))
+        results[comm.rank] = res
+
+    nprocs = max(old[0] * old[1], new[0] * new[1])
+    world.launch(main, processors=list(range(nprocs)))
+    env.run()
+    return results
+
+
+@pytest.mark.parametrize("materialized", [True, False])
+def test_total_bytes_moved_matches_per_rank_wire_traffic(materialized):
+    results = run_redistribution(24, 24, 2, 2, (2, 2), (2, 3),
+                                 materialized=materialized)
+    sent = sum(r.bytes_moved for r in results.values())
+    totals = {r.total_bytes_moved for r in results.values()}
+    payloads = {r.payload_nbytes for r in results.values()}
+    # Every rank reports the same schedule-wide numbers, and they agree
+    # with what the ranks actually put on the wire.
+    assert totals == {sent}
+    assert payloads == {24 * 24 * 8}
+    # Some data stayed put, so wire traffic is strictly below payload.
+    assert 0 < sent < 24 * 24 * 8
+
+
+def test_identity_redistribution_moves_zero_bytes():
+    results = run_redistribution(24, 24, 2, 2, (2, 2), (2, 2))
+    res = results[0]
+    assert res.total_bytes_moved == 0
+    assert res.payload_nbytes == 24 * 24 * 8
+    assert res.local_copies > 0
+
+
+def test_checkpoint_total_bytes_matches_per_rank_traffic():
+    results = run_redistribution(24, 24, 2, 2, (2, 2), (2, 3),
+                                 use_checkpoint=True)
+    sent = sum(r.bytes_moved for r in results.values())
+    assert {r.total_bytes_moved for r in results.values()} == {sent}
+    assert sent > 0
+
+
+def test_profiler_records_wire_bytes_not_payload():
+    """The resize history must log actual traffic, distinct from payload."""
+    fw = ReshapeFramework(num_processors=16,
+                          spec=MachineSpec(num_nodes=16))
+    app = LUApplication(480, block=48, iterations=5, materialized=True)
+    job = fw.submit(app, config=(1, 2))
+    fw.run()
+    records = fw.profiler.redistribution_log(job.job_id).records
+    assert records, "the LU job must have resized at least once"
+    for rec in records:
+        assert rec.bytes_moved is not None
+        assert 0 <= rec.bytes_moved <= rec.nbytes
+    # Block-cyclic resizes always keep some data in place, so at least
+    # one record shows traffic strictly below the payload.
+    assert any(rec.bytes_moved < rec.nbytes for rec in records)
+    assert any(rec.bytes_moved > 0 for rec in records)
