@@ -27,7 +27,13 @@ def scaling_curve(spec: MachineSpec) -> dict[int, float]:
     out = {}
     for config in CONFIGS:
         app = make_application("lu", 12000, iterations=1)
-        res = run_static(app, config, spec=spec)
+        # Reference collective path for every variant: the fast path's
+        # structural gate depends on the spec under ablation (backplane,
+        # bandwidth), and mixing paths would contaminate the ~zero
+        # physics deltas this ablation measures with tied-event
+        # micro-ordering noise (docs/phantom.md).
+        res = run_static(app, config, spec=spec,
+                         collective_fastpath=False)
         out[config[0] * config[1]] = res.mean_iteration_time
     return out
 

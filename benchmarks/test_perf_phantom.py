@@ -1,0 +1,164 @@
+"""Micro-benchmark: phantom fast path host wall-clock (before/after).
+
+Runs the paper's Figure 5 experiment — workload W2, static and dynamic
+scheduling — entirely in phantom mode, twice: once with the phantom
+fast path disabled (the generator-collective / sampled-LU / reference
+delivery paths) and once enabled (aggregate-event collectives, cached
+per-rank redistribution delivery, closed-form LU panel tables with O(1)
+iteration replay).  The two runs must agree on the *simulated* clock —
+the fast path is clock-equivalent by contract — while the *host* clock
+is the thing being bought: the acceptance bar is a >= 10x reduction.
+
+A second section times the redistribution delivery in isolation: the
+per-step O(ranks x messages) scan the driver used to do versus the
+cached per-rank plan lookup, on the paper's 12000^2 matrix.
+
+Results go to ``BENCH_phantom.json`` at the repository root (and a
+human-readable table under ``benchmarks/results/``).  ``BENCH_SMOKE=1``
+shrinks the workload for CI and skips the speedup assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.blacs import ProcessGrid
+from repro.core import ReshapeFramework
+from repro.darray import Descriptor
+from repro.metrics import format_table
+from repro.redist.tables import (
+    build_rank_plans,
+    cached_rank_plans,
+    cached_2d_schedule,
+    message_nbytes,
+)
+from repro.workloads import build_workload2
+from repro.workloads.paper import WORKLOAD2_PROCESSORS
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+_ROOT = pathlib.Path(__file__).parents[1]
+JSON_PATH = (_ROOT / "benchmarks" / "results" / "BENCH_phantom_smoke.json"
+             if SMOKE else _ROOT / "BENCH_phantom.json")
+
+
+def run_fig5_pair(fastpath: bool, iterations: int):
+    """One full Figure 5 experiment (static + dynamic W2)."""
+    t0 = time.perf_counter()
+    sim_clocks = []
+    for dynamic in (False, True):
+        fw = ReshapeFramework(num_processors=WORKLOAD2_PROCESSORS,
+                              dynamic=dynamic)
+        fw.world.collective_fastpath = fastpath
+        jobs = build_workload2(fw, iterations=iterations)
+        fw.run()
+        assert all(j.turnaround is not None for j in jobs.values())
+        sim_clocks.append(fw.env.now)
+    return time.perf_counter() - t0, sim_clocks
+
+
+def time_delivery_lookup(desc, src_shape, dst_shape, reps: int):
+    """Reference per-step scan vs cached per-rank plan lookup."""
+    schedule = cached_2d_schedule(desc.row_blocks, desc.col_blocks,
+                                  src_shape, dst_shape)
+    src_grid, dst_grid = ProcessGrid(*src_shape), ProcessGrid(*dst_shape)
+    nranks = max(src_grid.size, dst_grid.size)
+
+    def scan_all_ranks():
+        # What every rank of the old driver did per redistribution.
+        for rank in range(nranks):
+            for step in schedule.steps:
+                for msg in step:
+                    nbytes = message_nbytes(desc.m, desc.n, desc.mb,
+                                            desc.nb, desc.itemsize, msg)
+                    src_rank = src_grid.rank_of(*msg.src)
+                    dst_rank = dst_grid.rank_of(*msg.dst)
+                    if src_rank == rank and nbytes:
+                        pass
+                    if dst_rank == rank and src_rank != rank and nbytes:
+                        pass
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        scan_all_ranks()
+    t_scan = (time.perf_counter() - t0) / reps
+
+    args = (desc.row_blocks, desc.col_blocks, src_shape, dst_shape,
+            desc.m, desc.n, desc.mb, desc.nb, desc.itemsize)
+    build_rank_plans(schedule, src_grid, dst_grid, desc.m, desc.n,
+                     desc.mb, desc.nb, desc.itemsize)  # build cost paid once
+    cached_rank_plans(*args)                           # prime the cache
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        plan = cached_rank_plans(*args)
+        for rank in range(nranks):
+            plan.rank_steps(rank)
+    t_plan = (time.perf_counter() - t0) / reps
+    return t_scan, t_plan
+
+
+def test_perf_phantom_fast_path(report):
+    iterations = 2 if SMOKE else 10
+
+    t_slow, clocks_slow = run_fig5_pair(fastpath=False,
+                                        iterations=iterations)
+    t_fast, clocks_fast = run_fig5_pair(fastpath=True,
+                                        iterations=iterations)
+    speedup = t_slow / max(t_fast, 1e-12)
+    clock_drift = max(
+        abs(a - b) / a for a, b in zip(clocks_slow, clocks_fast))
+
+    n, block = (1200, 50) if SMOKE else (12000, 100)
+    desc = Descriptor(m=n, n=n, mb=block, nb=block,
+                      grid=ProcessGrid(2, 2))
+    t_scan, t_plan = time_delivery_lookup(desc, (2, 2), (2, 3),
+                                          reps=3 if SMOKE else 10)
+
+    results = {
+        "smoke": SMOKE,
+        "workload": "fig5 W2 (static + dynamic), phantom mode",
+        "iterations": iterations,
+        "before": {"host_s": t_slow, "simulated_s": clocks_slow},
+        "after": {"host_s": t_fast, "simulated_s": clocks_fast},
+        "speedup": speedup,
+        "simulated_clock_max_rel_drift": clock_drift,
+        "redist_delivery": {
+            "matrix": n,
+            "block": block,
+            "scan_s": t_scan,
+            "plan_s": t_plan,
+            "speedup": t_scan / max(t_plan, 1e-12),
+        },
+        "speedup_definition": (
+            "host wall-clock of the full fig5 experiment with the "
+            "phantom fast path off vs on (World.collective_fastpath)"),
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = [
+        ["fig5 pair (host)", f"{t_slow:.2f}", f"{t_fast:.2f}",
+         f"{speedup:.1f}x"],
+        ["delivery lookup", f"{t_scan * 1e3:.3f} ms",
+         f"{t_plan * 1e3:.3f} ms",
+         f"{results['redist_delivery']['speedup']:.0f}x"],
+    ]
+    report(format_table(
+        ["stage", "before", "after", "speedup"], rows,
+        title=f"Phantom fast path — fig5 W2 "
+              f"({'smoke' if SMOKE else 'full'})"))
+    report(f"simulated clocks before: {clocks_slow}")
+    report(f"simulated clocks after:  {clocks_fast}  "
+           f"(max rel drift {clock_drift:.2e})")
+    report.flush("BENCH_phantom_smoke" if SMOKE else "BENCH_phantom")
+
+    # The fast path must not change the physics.
+    assert clock_drift < 1e-6, results
+    assert speedup > 1.0, results
+    if not SMOKE:
+        # Acceptance: >= 10x host-time reduction on the fig5-scale
+        # phantom workload.
+        assert speedup >= 10.0, results
+        assert results["redist_delivery"]["speedup"] >= 10.0, results

@@ -23,6 +23,7 @@ pivot traffic of a panel is sampled once and charged ``w`` times
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Generator, Optional
 
 import numpy as np
@@ -32,7 +33,132 @@ from repro.apps.base import AppContext, Application
 from repro.blacs import ProcessGrid
 from repro.darray import Descriptor, DistributedMatrix, numroc
 from repro.darray.blockcyclic import global_to_local
-from repro.mpi import Phantom
+from repro.mpi import Phantom, payload_nbytes
+from repro.mpi.datatypes import HEADER_BYTES
+from repro.mpi.fastcoll import bcast_children, p2p_time, replay_chain
+
+
+# ---------------------------------------------------------------------------
+# Closed-form per-panel cost tables (phantom mode).
+#
+# Phantom pdgetrf used to execute one representative pivot round (and one
+# representative row swap) per panel with real simulated transfers and
+# charge the remaining repetitions at the measured cost.  Because the
+# sampled rounds start from a barrier, their per-rank cost is a pure
+# function of (grid column shape, panel width, network parameters) — so
+# it can be computed once with the fast-path collective replay
+# (``repro.mpi.fastcoll``) and cached, advancing the clock in O(1) per
+# panel with no event machinery at all.  The tables engage only when the
+# grid communicator qualifies for the fast path; otherwise the sampled
+# reference path below runs unchanged.
+# ---------------------------------------------------------------------------
+
+def _lu_cost_tables(machine) -> dict:
+    tables = getattr(machine, "_lu_phantom_tables", None)
+    if tables is None:
+        tables = machine._lu_phantom_tables = {}
+    return tables
+
+
+@lru_cache(maxsize=512)
+def _swaps_list_nbytes(w: int) -> int:
+    """Wire size of a ``w``-entry pivot list, as the reference broadcast
+    would measure it (cached: the per-element walk is a hot path)."""
+    return payload_nbytes([(0, 0)] * w)
+
+
+def _pivot_round_table(ctx: AppContext, prow_k: int, w: int,
+                       itemsize: int) -> tuple:
+    """``(times, my_sends)`` for one pivot round, entered synchronized.
+
+    One round is the max-allreduce of the ``(value, prow, lrow)``
+    candidate followed by the pivot-row broadcast from ``prow_k`` — the
+    communication the sampled reference path performs once per panel.
+    ``times[row]`` is that rank's round duration; ``my_sends`` the wire
+    sizes this rank would have put on the network (for stats mirroring).
+    """
+    blacs = ctx.blacs
+    assert blacs is not None
+    machine = ctx.machine
+    col = blacs.col_comm
+    nodes = tuple(machine.node_of(p) for p in col.processors)
+    key = ("pivot-round", nodes, prow_k, w, itemsize)
+    tables = _lu_cost_tables(machine)
+    entry = tables.get(key)
+    if entry is None:
+        pr = col.size
+        cand_nb = payload_nbytes((1.0, 0, 0))
+        times = replay_chain(machine.network, list(nodes), [
+            # allreduce = binomial reduce to rank 0, then broadcast.
+            ("reduce", 0, [Phantom(cand_nb)] * pr),
+            ("bcast", 0, [Phantom(cand_nb)] * pr),
+            # Pivot-row segment broadcast from the pivot's home row.
+            ("bcast", prow_k, [Phantom(w * itemsize)] * pr),
+        ])
+        sends_by_row = []
+        for row in range(pr):
+            row_sends = []
+            if row != 0:
+                row_sends.append(cand_nb)          # reduce: leaf-to-parent
+            row_sends.extend([cand_nb] *
+                             len(bcast_children(row, 0, pr)))
+            row_sends.extend([w * itemsize] *
+                             len(bcast_children(row, prow_k, pr)))
+            sends_by_row.append(tuple(row_sends))
+        entry = tables[key] = (times, tuple(sends_by_row))
+    times, sends_by_row = entry
+    return times, sends_by_row[blacs.myrow]
+
+
+def _mirror_pivot_round_stats(ctx: AppContext, my_sends: tuple) -> None:
+    """Book the traffic of one sampled pivot round, as the reference
+    path's single real round would have (repetitions were never booked)."""
+    blacs = ctx.blacs
+    assert blacs is not None
+    col = blacs.col_comm
+    net = ctx.machine.network.stats
+    col.stats.collectives += 3                     # reduce + 2 broadcasts
+    for nbytes in my_sends:
+        col.stats.sends += 1
+        col.stats.bytes_sent += nbytes
+        net.messages += 1
+        net.bytes += nbytes + HEADER_BYTES
+
+
+def _swap_exchange_cost(ctx: AppContext, g1: int, g2: int,
+                        segments: list[tuple[int, int]],
+                        desc: Descriptor, *, mirror_stats: bool) -> float:
+    """This rank's cost of one pivot-row exchange over ``segments``.
+
+    Ranks outside the two grid rows (or when both rows coincide) pay
+    nothing, exactly like the reference ``_swap_panel_rows``.
+    """
+    blacs = ctx.blacs
+    assert blacs is not None
+    pr = desc.grid.pr
+    p1, _l1 = global_to_local(g1, desc.mb, 0, pr)
+    p2, _l2 = global_to_local(g2, desc.mb, 0, pr)
+    myrow = blacs.myrow
+    if p1 == p2 or myrow not in (p1, p2):
+        return 0.0
+    theirs = p2 if myrow == p1 else p1
+    machine = ctx.machine
+    col = blacs.col_comm
+    my_node = machine.node_of(col.processors[myrow])
+    their_node = machine.node_of(col.processors[theirs])
+    total = 0.0
+    for lc_from, lc_to in segments:
+        width = lc_to - lc_from
+        if width <= 0:
+            continue
+        nbytes = width * desc.itemsize
+        total += p2p_time(machine.network, my_node, their_node, nbytes)
+        if mirror_stats:
+            col.stats.sends += 1
+            col.stats.bytes_sent += nbytes
+            machine.network.stats.messages += 1
+            machine.network.stats.bytes += nbytes + HEADER_BYTES
+    return total
 
 
 def _copy_matrix(dm: DistributedMatrix) -> DistributedMatrix:
@@ -65,6 +191,10 @@ def pdgetrf(ctx: AppContext, work: DistributedMatrix) -> Generator:
     mat = work.materialized
     local = work.local(me) if mat else None
     itemsize = desc.itemsize
+    # Phantom mode rides the closed-form panel cost tables when the grid
+    # qualifies for the collective fast path (all ranks must agree; the
+    # eligibility is a pure function of communicator + machine + flag).
+    fastpath = (not mat) and blacs.comm._fastcoll() is not None
 
     ipiv: list[tuple[int, int]] = []
     nblocks = desc.col_blocks
@@ -85,15 +215,27 @@ def pdgetrf(ctx: AppContext, work: DistributedMatrix) -> Generator:
         panel_swaps: list[tuple[int, int]] = []
         if mycol == pcol_k:
             panel_swaps = yield from _factor_panel(
-                ctx, work, k, j0, w, lr_panel)
+                ctx, work, k, j0, w, lr_panel, fastpath)
         # Share the pivot choices across the grid row (everyone needs them
         # to apply row swaps and to build the global ipiv).
-        panel_swaps = yield from blacs.row_bcast(panel_swaps,
-                                                 root_col=pcol_k)
+        if not fastpath:
+            panel_swaps = yield from blacs.row_bcast(panel_swaps,
+                                                     root_col=pcol_k)
+        else:
+            # Phantom pivots are a deterministic formula, so every rank
+            # rebuilds them locally; the broadcast is still charged at
+            # the wire size the pivot list would occupy.
+            panel_swaps = [(j0 + jj, min(n - 1, j0 + jj + nb))
+                           for jj in range(w)]
+            list_nbytes = _swaps_list_nbytes(w)
+            yield from blacs.row_bcast(
+                Phantom(list_nbytes) if mycol == pcol_k else None,
+                root_col=pcol_k)
         ipiv.extend(panel_swaps)
 
         # ---- 2. apply row swaps to non-panel columns ---------------------
-        yield from _apply_row_swaps(ctx, work, panel_swaps, j0, w)
+        yield from _apply_row_swaps(ctx, work, panel_swaps, j0, w,
+                                    fastpath)
 
         # ---- 3. triangular solve for the U block row ----------------------
         # L11 (w x w unit lower) lives on (prow_k, pcol_k); the owning grid
@@ -153,11 +295,14 @@ def pdgetrf(ctx: AppContext, work: DistributedMatrix) -> Generator:
 
 
 def _factor_panel(ctx: AppContext, work: DistributedMatrix, k: int,
-                  j0: int, w: int, lr_panel: int) -> Generator:
+                  j0: int, w: int, lr_panel: int,
+                  fastpath: bool = False) -> Generator:
     """Factor panel ``k`` within its owning grid column; returns swaps.
 
     Every rank of the grid column participates.  In phantom mode one
-    column's communication is executed and the rest charged by repetition.
+    column's communication is executed and the rest charged by
+    repetition — or, with ``fastpath``, the whole panel's pivot traffic
+    is charged from the closed-form cost table in O(1).
     """
     blacs = ctx.blacs
     assert blacs is not None
@@ -205,6 +350,17 @@ def _factor_panel(ctx: AppContext, work: DistributedMatrix, k: int,
                     local[lr_below:lm, lc0 + jj + 1:lc0 + w] -= \
                         np.outer(colv, piece[1:])
                 yield from ctx.charge(2.0 * (lm - lr_below) * (w - jj))
+    elif fastpath:
+        # Phantom fast path: the pivot round starts from a barrier, so
+        # its per-rank cost is the synchronized closed form — charge all
+        # w columns from the cached table without touching the event
+        # queue (clock-equivalent to the sampled path below).
+        yield from blacs.col_comm.barrier()
+        round_times, my_sends = _pivot_round_table(ctx, k % pr, w,
+                                                   desc.itemsize)
+        _mirror_pivot_round_stats(ctx, my_sends)
+        if round_times[myrow] > 0:
+            yield ctx.env.timeout(w * round_times[myrow])
     else:
         # Phantom: run one representative pivot column for real, then
         # charge the remaining w-1 columns at the measured cost.  The
@@ -220,6 +376,7 @@ def _factor_panel(ctx: AppContext, work: DistributedMatrix, k: int,
             root_row=k % pr)
         elapsed = ctx.env.now - t0
         yield from ctx.repeat_cost(elapsed, w)
+    if not mat:
         # Rank-1 updates: sum over columns jj of 2*(rows below)*(w - jj).
         rows_below = max(0, lm - lr_panel)
         yield from ctx.charge(float(rows_below) * w * (w + 1))
@@ -275,7 +432,7 @@ def _swap_panel_rows(ctx: AppContext, work: DistributedMatrix,
 
 def _apply_row_swaps(ctx: AppContext, work: DistributedMatrix,
                      swaps: list[tuple[int, int]], j0: int,
-                     w: int) -> Generator:
+                     w: int, fastpath: bool = False) -> Generator:
     """Apply recorded pivots to all columns outside the panel."""
     blacs = ctx.blacs
     assert blacs is not None
@@ -301,6 +458,17 @@ def _apply_row_swaps(ctx: AppContext, work: DistributedMatrix,
                     yield from _swap_panel_rows(ctx, work, g1, g2,
                                                 lc_from, lc_to)
     elif real_swaps:
+        if fastpath:
+            # Phantom fast path: the synchronized exchange cost is a
+            # closed form (all of a panel's synthetic swaps move between
+            # the same two grid rows) — charge every swap from it.
+            yield from blacs.comm.barrier()
+            g1, g2 = real_swaps[0]
+            cost = _swap_exchange_cost(ctx, g1, g2, segments, desc,
+                                       mirror_stats=True)
+            if cost > 0:
+                yield ctx.env.timeout(len(real_swaps) * cost)
+            return
         # Phantom: sample one swap of the full local width, charge the
         # rest (synchronized first — see _factor_panel).
         yield from blacs.comm.barrier()
@@ -363,5 +531,25 @@ class LUApplication(Application):
         work = yield from ctx.shared_object(
             lambda: _copy_matrix(ctx.data["A"]))
         yield from ctx.charge_memory(work.local_nbytes(ctx.comm.rank))
+        if not work.materialized and ctx.blacs is not None \
+                and ctx.comm._fastcoll() is not None:
+            # Iterations start from a barrier (the runtime's iteration
+            # loop), the simulation is deterministic, and the fast-path
+            # gate rules out cross-job NIC interference — so a phantom
+            # factorization's per-rank duration is identical every
+            # iteration at a given configuration.  Walk the panels once
+            # per configuration, then advance the clock in O(1).
+            cache = ctx.data.setdefault("_phantom_lu_durations", {})
+            key = (tuple(ctx.comm.processors), ctx.blacs.grid.shape,
+                   work.desc.m, work.desc.nb)
+            durations = cache.get(key)
+            if durations is not None and ctx.comm.rank in durations:
+                if durations[ctx.comm.rank] > 0:
+                    yield ctx.env.timeout(durations[ctx.comm.rank])
+                return []
+            t0 = ctx.env.now
+            ipiv = yield from pdgetrf(ctx, work)
+            cache.setdefault(key, {})[ctx.comm.rank] = ctx.env.now - t0
+            return ipiv
         ipiv = yield from pdgetrf(ctx, work)
         return ipiv

@@ -7,6 +7,7 @@ policies, First Come First Served (FCFS) and simple backfill."  (§3.1)
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Optional
 
 from repro.core.job import Job
@@ -58,7 +59,11 @@ class JobQueue:
         if head.requested_size <= free:
             return head
         if self.backfill:
-            for job in list(self._queue)[1:]:
+            # O(queue length) scan per wake, without copying the deque.
+            # Fine into the thousands of jobs (guarded by
+            # tests/test_scheduler_stress.py); reservation-style
+            # bookkeeping would be the next step beyond that.
+            for job in islice(self._queue, 1, None):
                 if job.requested_size <= free:
                     return job
         return None

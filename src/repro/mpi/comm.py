@@ -39,12 +39,18 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence
 
 from repro.cluster.machine import Machine
-from repro.mpi.datatypes import HEADER_BYTES, payload_nbytes
+from repro.mpi.datatypes import HEADER_BYTES, Phantom, payload_nbytes
 from repro.mpi.errors import MPIError
+from repro.mpi.fastcoll import (
+    FastBcastToken,
+    FastCollState,
+    bcast_children,
+    build_state as _build_fastcoll_state,
+)
 from repro.mpi.ops import ReduceOp, SUM
 from repro.mpi.request import PersistentRequest, Request
 from repro.mpi.status import Status
-from repro.simulate import Environment, Process, Store
+from repro.simulate import Environment, Event, Process, Store
 
 #: Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
 ANY_SOURCE = -1
@@ -75,6 +81,10 @@ class CommStats:
     collectives: int = 0
 
 
+#: Sentinel: fast-path eligibility not yet computed for a communicator.
+_FASTCOLL_UNSET = object()
+
+
 class _CommShared:
     """State shared by all rank views of one communicator."""
 
@@ -86,10 +96,28 @@ class _CommShared:
         self.mailboxes = [Store(world.env) for _ in processors]
         self.id = next(_comm_ids)
         self.stats = CommStats()
+        #: Structural fast-path eligibility (lazy; see repro.mpi.fastcoll).
+        self._fastcoll_state: Any = _FASTCOLL_UNSET
+        #: In-flight fast-path rendezvous, keyed by collective tag.
+        self._fast_calls: dict[int, Any] = {}
 
     @property
     def size(self) -> int:
         return len(self.processors)
+
+    def fast_state(self) -> Optional[FastCollState]:
+        state = self._fastcoll_state
+        if state is _FASTCOLL_UNSET:
+            state = self._fastcoll_state = _build_fastcoll_state(self)
+        return state
+
+
+def _deposit_at(env: Environment, store: Store, item: "Envelope",
+                when: float) -> None:
+    """Put ``item`` into ``store`` at the absolute time ``when``."""
+    ev = env.wake_at(when)
+    assert ev.callbacks is not None
+    ev.callbacks.append(lambda _e: store.put(item))
 
 
 class Comm:
@@ -195,10 +223,17 @@ class Comm:
 
     def sendrecv(self, payload: Any, dest: int, source: int,
                  send_tag: int = 0, recv_tag: int = ANY_TAG) -> Generator:
-        """Simultaneous send and receive; returns the received payload."""
-        req = self.isend(payload, dest, send_tag)
-        received = yield from self.recv(source, recv_tag)
-        yield from req.wait()
+        """Simultaneous send and receive; returns the received payload.
+
+        Both operations are posted before either is waited on, so
+        head-to-head exchanges (every rank of a ring or a pair calling
+        sendrecv at once) complete regardless of posting order — the
+        guarantee ``MPI_Sendrecv`` provides.
+        """
+        send_req = self.isend(payload, dest, send_tag)
+        recv_req = self.irecv(source, recv_tag)
+        received = yield from recv_req.wait()
+        yield from send_req.wait()
         return received
 
     # -- persistent requests ----------------------------------------------------
@@ -219,12 +254,56 @@ class Comm:
         self._shared.stats.collectives += 1
         return tag
 
+    def _fastcoll(self) -> Optional[FastCollState]:
+        """The phantom fast path's eligibility record, or None.
+
+        Structural conditions (distinct nodes, backplane headroom) are
+        cached on the shared state; the dynamic ones (world switch,
+        network tracing) are re-checked per call so tests and ablations
+        can toggle them.  Payload-type gating is the caller's job.
+        """
+        shared = self._shared
+        world = shared.world
+        if not world.collective_fastpath or world.machine.network.trace:
+            return None
+        return shared.fast_state()
+
+    def _fast_bcast_forward(self, fast: FastCollState,
+                            token: FastBcastToken, root: int,
+                            tag: int) -> Generator:
+        """Forward a fast-broadcast token to this rank's tree children.
+
+        Deposits land in the children's mailboxes at exactly the times
+        the generator path's transfers would produce; this rank's clock
+        advances by the duration of its own (sequential, blocking)
+        sends.
+        """
+        env = self.env
+        shared = self._shared
+        wire = fast.wire()
+        t = env.now
+        for child in bcast_children(self.rank, root, self.size):
+            end = wire.send(self.rank, child, token.nbytes, t)
+            shared.stats.sends += 1
+            shared.stats.bytes_sent += token.nbytes
+            _deposit_at(env, shared.mailboxes[child],
+                        Envelope(source=self.rank, tag=tag,
+                                 payload=token, nbytes=token.nbytes),
+                        end)
+            t = end
+        if t > env.now:
+            yield env.wake_at(t)
+
     # -- collectives --------------------------------------------------------------
     def barrier(self) -> Generator:
         """Dissemination barrier: ceil(log2(P)) rounds of tiny messages."""
         tag = self._next_coll_tag()
         size = self.size
         if size == 1:
+            return
+        fast = self._fastcoll()
+        if fast is not None:
+            yield fast.live_call("barrier", tag).join(self.rank, None)
             return
         rounds = max(1, math.ceil(math.log2(size)))
         for k in range(rounds):
@@ -236,13 +315,30 @@ class Comm:
             yield from req.wait()
 
     def bcast(self, payload: Any, root: int = 0) -> Generator:
-        """Binomial-tree broadcast; every rank returns the payload."""
+        """Binomial-tree broadcast; every rank returns the payload.
+
+        Phantom fast path: when the *root's* payload is a
+        :class:`Phantom` (and the communicator qualifies), the broadcast
+        ships a :class:`FastBcastToken` down the same binomial tree with
+        arithmetically computed deposit times instead of simulated
+        transfers.  Non-root ranks cannot know the root's payload type,
+        so the decision travels in-band: they post their normal receive
+        and switch paths based on what arrives — mixed fast/slow
+        divergence is structurally impossible.
+        """
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
         size = self.size
         if size == 1:
             return payload
         relrank = (self.rank - root) % size
+        if relrank == 0:
+            fast = self._fastcoll()
+            if fast is not None and isinstance(payload, Phantom):
+                yield from self._fast_bcast_forward(
+                    fast, FastBcastToken(payload, payload.nbytes),
+                    root, tag)
+                return payload
         # Receive phase: find the bit where we hang off the tree.
         mask = 1
         while mask < size:
@@ -251,6 +347,12 @@ class Comm:
                 payload = yield from self.recv(source, tag)
                 break
             mask <<= 1
+        if isinstance(payload, FastBcastToken):
+            token = payload
+            fast = self._shared.fast_state()
+            assert fast is not None  # the root already qualified us
+            yield from self._fast_bcast_forward(fast, token, root, tag)
+            return token.value
         # Send phase: forward to our subtree.
         mask >>= 1
         while mask > 0:
@@ -266,6 +368,13 @@ class Comm:
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
         size = self.size
+        if size > 1 and isinstance(payload, Phantom):
+            fast = self._fastcoll()
+            if fast is not None:
+                result = yield fast.live_call(
+                    "reduce", tag, root=root, op=op).join(self.rank,
+                                                          payload)
+                return result
         result = payload
         relrank = (self.rank - root) % size
         mask = 1
@@ -293,6 +402,12 @@ class Comm:
         """Gather payloads; returns the rank-ordered list at root, else None."""
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
+        if self.size > 1 and isinstance(payload, Phantom):
+            fast = self._fastcoll()
+            if fast is not None:
+                result = yield fast.live_call(
+                    "gather", tag, root=root).join(self.rank, payload)
+                return result
         if self.rank != root:
             yield from self._send_raw(payload, root, tag)
             return None
@@ -307,6 +422,12 @@ class Comm:
         """Ring allgather: P-1 steps, each shifting one block around."""
         tag = self._next_coll_tag()
         size = self.size
+        if size > 1 and isinstance(payload, Phantom):
+            fast = self._fastcoll()
+            if fast is not None:
+                result = yield fast.live_call(
+                    "allgather", tag).join(self.rank, payload)
+                return result
         items: list[Any] = [None] * size
         items[self.rank] = payload
         right = (self.rank + 1) % size
@@ -350,6 +471,12 @@ class Comm:
             raise MPIError("alltoall needs one payload per rank")
         tag = self._next_coll_tag()
         size = self.size
+        if size > 1 and all(isinstance(p, Phantom) for p in payloads):
+            fast = self._fastcoll()
+            if fast is not None:
+                result = yield fast.live_call(
+                    "alltoall", tag).join(self.rank, list(payloads))
+                return result
         received: list[Any] = [None] * size
         received[self.rank] = payloads[self.rank]
         for step in range(1, size):
@@ -435,13 +562,18 @@ class World:
 
     def __init__(self, env: Environment, machine: Machine, *,
                  launch_overhead: float = 0.1,
-                 spawn_overhead: float = 0.25):
+                 spawn_overhead: float = 0.25,
+                 collective_fastpath: bool = True):
         self.env = env
         self.machine = machine
         #: Per-group startup cost at job launch (scheduler/job-startup path).
         self.launch_overhead = launch_overhead
         #: Cost of MPI_Comm_spawn_multiple (process creation + connect).
         self.spawn_overhead = spawn_overhead
+        #: Master switch for the phantom collective fast path (see
+        #: repro.mpi.fastcoll); equivalence tests and the phantom
+        #: micro-benchmark's "before" leg turn it off.
+        self.collective_fastpath = collective_fastpath
 
     def launch(self, main: Callable[..., Generator],
                processors: Sequence[int], args: tuple = (),

@@ -1,0 +1,612 @@
+"""Phantom fast path for collectives: arithmetic replay of the tree
+algorithms, delivered through batched completion events.
+
+Why
+---
+The collectives in :mod:`repro.mpi.comm` are pure Python generators: a
+P-rank broadcast schedules O(P) transfers, each of which costs ~10 heap
+events (process start, software-overhead timeout, two NIC resource
+grants, wire timeout, latency timeout, mailbox put/get, request wait).
+For phantom payloads nothing in that machinery carries information — the
+payload is a byte count and the algorithms route it deterministically —
+so the completion *times* of every rank can be computed with plain
+arithmetic and delivered through one :class:`~repro.simulate.engine.
+AggregateEvent` per distinct completion time.
+
+Equivalence contract
+--------------------
+The fast path must produce **identical simulated clocks, values and
+``CommStats``/``NetworkStats`` counters** to the generator path it
+replaces (see ``docs/phantom.md`` and
+``tests/test_fastcoll_equivalence.py``).  To keep that promise it only
+engages when the replay is provably exact:
+
+* every rank of the communicator lives on its own node and the machine
+  has one CPU per node (no NIC sharing between ranks or jobs);
+* the collective's worst-case concurrent flows cannot oversubscribe the
+  switch backplane (``size * bandwidth <= backplane_bandwidth``);
+* network tracing is off (trace records are produced by real transfers).
+
+Anything else — real payloads, shared nodes, a tight backplane — falls
+back to the generator path.  The replay models the full transfer cost
+chain (software overhead, per-NIC FIFO serialization with the endpoint
+contention penalty, wire time, propagation latency) and persists NIC
+availability across calls via ``Nic.fp_free`` (``[tx_free, rx_free]``),
+so back-to-back fast collectives see each other's engine occupancy.
+
+Two delivery mechanisms:
+
+* **Rendezvous** (:class:`LiveCall`): barrier/reduce/gather/allgather/
+  alltoall.  Eligibility is rank-locally decidable (payload must be
+  :class:`Phantom` — type-symmetric SPMD usage is the same contract real
+  MPI puts on datatypes).  Ranks register their arrival; completions are
+  computed progressively (a reduce leaf resolves at its own send, the
+  root when the whole tree is in) and scheduled via ``schedule_many``.
+* **Token** (:class:`FastBcastToken`): broadcast.  Only the root knows
+  whether the payload is phantom, so the decision travels *in-band*: the
+  root deposits a token into its tree children's mailboxes at the exact
+  deposit times the generator path would produce; receivers recognize
+  the token, forward it arithmetically and skip the generator sends.  A
+  slow (real-payload) broadcast is indistinguishable to receivers until
+  the payload arrives, exactly like real MPI.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.mpi.datatypes import HEADER_BYTES, payload_nbytes
+from repro.simulate import Environment, Event
+
+
+class FastBcastToken:
+    """In-band marker for a fast-path broadcast (see module docstring)."""
+
+    __slots__ = ("value", "nbytes")
+
+    def __init__(self, value: Any, nbytes: int):
+        self.value = value
+        self.nbytes = nbytes
+
+
+# ---------------------------------------------------------------------------
+# Transfer-cost mirror
+# ---------------------------------------------------------------------------
+
+class Wire:
+    """Arithmetic mirror of ``Network.transfer`` between distinct nodes.
+
+    ``engines`` maps a node index to a mutable ``[tx_free, rx_free]``
+    pair.  The live fast path binds it to per-NIC state that persists
+    across calls; detached replays (closed-form tables) use a scratch
+    dict.  Callers must feed sends in nondecreasing start order — per-NIC
+    FIFO then matches the event kernel's grant order.
+    """
+
+    __slots__ = ("network", "nodes", "nics", "engines", "record_stats")
+
+    def __init__(self, network, nodes: list[int], *,
+                 engines: Optional[dict] = None, record_stats: bool = True):
+        self.network = network
+        self.nodes = nodes                    # node index per comm rank
+        self.nics = [network.nodes[n].nic for n in nodes]
+        self.engines = engines
+        self.record_stats = record_stats
+
+    def _engine(self, rank: int) -> list[float]:
+        if self.engines is None:
+            nic = self.nics[rank]
+            return nic.fp_free
+        return self.engines.setdefault(self.nodes[rank], [0.0, 0.0])
+
+    def send(self, src: int, dst: int, payload_nb: int, start: float) -> float:
+        """Completion (= mailbox deposit) time of one ``_send_raw``."""
+        net = self.network
+        nbytes = payload_nb + HEADER_BYTES
+        t_arrive = start + net.software_overhead
+        src_eng = self._engine(src)
+        dst_eng = self._engine(dst)
+        t_tx = max(t_arrive, src_eng[0])
+        t_hold = max(t_tx, dst_eng[1])
+        bw = min(self.nics[src].bandwidth, self.nics[dst].bandwidth)
+        wire = nbytes * (1.0 / bw + net.per_byte_overhead)
+        if t_hold > t_arrive:
+            wire *= 1.0 + net.contention_penalty
+        end_hold = t_hold + wire
+        src_eng[0] = end_hold
+        dst_eng[1] = end_hold
+        end = end_hold + net.latency
+        if self.record_stats:
+            self.nics[src].bytes_sent += nbytes
+            self.nics[dst].bytes_received += nbytes
+            net.stats.messages += 1
+            net.stats.bytes += nbytes
+            net.stats.busy_time += end - start
+        return end
+
+
+def p2p_time(network, src_node: int, dst_node: int,
+             payload_nb: int) -> float:
+    """Uncontended cross-node ``_send_raw`` duration (call to deposit):
+    the network's own uncontended transfer time plus the header."""
+    return network.transfer_time(src_node, dst_node,
+                                 payload_nb + HEADER_BYTES)
+
+
+# ---------------------------------------------------------------------------
+# Binomial-tree structure (mirrors Comm.bcast's masks exactly)
+# ---------------------------------------------------------------------------
+
+def bcast_parent(rank: int, root: int, size: int) -> int:
+    """The rank this rank receives from in a binomial broadcast."""
+    relrank = (rank - root) % size
+    mask = 1
+    while not relrank & mask:
+        mask <<= 1
+    return ((relrank - mask) + root) % size
+
+
+def bcast_children(rank: int, root: int, size: int) -> deque:
+    """The ranks this rank forwards to, in send order."""
+    relrank = (rank - root) % size
+    if relrank == 0:
+        mask = 1
+        while mask < size:
+            mask <<= 1
+    else:
+        mask = 1
+        while not relrank & mask:
+            mask <<= 1
+    mask >>= 1
+    out: deque = deque()
+    while mask > 0:
+        if relrank + mask < size:
+            out.append((relrank + mask + root) % size)
+        mask >>= 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Progressive collective replay
+# ---------------------------------------------------------------------------
+
+class CollSim:
+    """Pure-arithmetic replay of one collective call.
+
+    Ranks are fed via :meth:`arrive`; :meth:`drain` executes pending
+    sends whose start time is due and returns newly resolved
+    ``(rank, completion_time, value)`` triples.  No simulation objects
+    are touched — the caller decides how completions become events.
+    """
+
+    def __init__(self, kind: str, size: int, wire: Wire, *,
+                 root: int = 0, op: Optional[Callable] = None,
+                 stats=None):
+        self.kind = kind
+        self.size = size
+        self.wire = wire
+        self.root = root
+        self.op = op
+        self.stats = stats                  # CommStats to mirror, or None
+        self.arrived = [False] * size
+        self.n_arrived = 0
+        self.payloads: list[Any] = [None] * size
+        self.t_cur = [0.0] * size
+        # Heap entries are (start, cause, seq, rank): ``cause`` is the
+        # replay index of the event that unblocked the send (arrival,
+        # deposit, or the rank's own previous send).  Equal-start sends
+        # contending for one NIC engine are then granted in the same
+        # order the event kernel's causal chains would produce.
+        self.heap: list[tuple[float, int, int, int]] = []
+        self._seq = 0
+        self._exec = 0                       # monotone replay-event index
+        self.cause = [0] * size              # current unblocking event
+        self.dep: dict[tuple[int, int], deque] = {}
+        self.resolved_count = 0
+        # Pending-send descriptors (one outstanding send per rank).
+        self.pend_dst = [0] * size
+        self.pend_value: list[Any] = [None] * size
+        self.send_end: list[Optional[float]] = [None] * size
+        self.send_exec = [0] * size          # replay index of last send
+        if kind == "barrier":
+            self.rounds = max(1, math.ceil(math.log2(size)))
+            self.stage = [0] * size
+        elif kind == "reduce":
+            self.mask = [1] * size
+            self.result: list[Any] = [None] * size
+        elif kind == "gather":
+            self.items: list[Any] = [None] * size
+            self.pool: deque = deque()      # (time, value, src) FIFO
+            self.got = 0
+        elif kind in ("allgather", "alltoall"):
+            self.lists: list[Any] = [None] * size
+            self.stage = [0] * size
+        elif kind == "bcast":
+            self.value: Any = None
+            self.children: list[Optional[deque]] = [None] * size
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown collective kind {kind!r}")
+
+    # -- plumbing ----------------------------------------------------------
+    def _push(self, start: float, rank: int) -> None:
+        self._seq += 1
+        heapq.heappush(self.heap,
+                       (start, self.cause[rank], self._seq, rank))
+
+    def _deposit(self, src: int, dst: int, when: float, value: Any,
+                 exec_idx: int) -> None:
+        if self.kind == "gather":
+            # Root receives with ANY_SOURCE: mailbox order is deposit
+            # order, which is execution order here (chronological).
+            self.pool.append((when, value, src))
+        else:
+            self.dep.setdefault((src, dst), deque()).append(
+                (when, value, exec_idx))
+        if self.arrived[dst]:
+            self._advance(dst)
+
+    def _take(self, rank: int, src: int):
+        """Pop the next deposit from ``src`` and update ``rank``'s
+        unblocking cause if the receive actually waited for it."""
+        q = self.dep.get((src, rank))
+        if not q:
+            return None
+        got = q.popleft()
+        if got[0] > self.t_cur[rank]:
+            self.cause[rank] = got[2]
+        return got
+
+    def _start_send(self, rank: int, dst: int, value: Any,
+                    start: float) -> None:
+        self.pend_dst[rank] = dst
+        self.pend_value[rank] = value
+        self._push(start, rank)
+
+    @property
+    def finished(self) -> bool:
+        return self.resolved_count == self.size
+
+    def next_start(self) -> Optional[float]:
+        return self.heap[0][0] if self.heap else None
+
+    # -- driving -----------------------------------------------------------
+    def arrive(self, rank: int, now: float, payload: Any) -> list:
+        self.arrived[rank] = True
+        self.n_arrived += 1
+        self.payloads[rank] = payload
+        self.t_cur[rank] = now
+        self._exec += 1
+        self.cause[rank] = self._exec
+        self._resolved_batch: list = []
+        self._seed(rank)
+        return self.drain(now, batch=self._resolved_batch)
+
+    def drain(self, now: float, batch: Optional[list] = None) -> list:
+        """Execute due sends; with all ranks in, execute everything."""
+        resolved = batch if batch is not None else []
+        self._resolved_batch = resolved
+        force = self.n_arrived == self.size
+        while self.heap and (force or self.heap[0][0] <= now):
+            start, _cause, _seq, rank = heapq.heappop(self.heap)
+            dst = self.pend_dst[rank]
+            value = self.pend_value[rank]
+            nbytes = payload_nbytes(value)
+            end = self.wire.send(rank, dst, nbytes, start)
+            if self.stats is not None:
+                self.stats.sends += 1
+                self.stats.bytes_sent += nbytes
+            self._exec += 1
+            self.send_exec[rank] = self._exec
+            self.send_end[rank] = end
+            self._sent(rank, end)
+            self._deposit(rank, dst, end, value, self._exec)
+        return resolved
+
+    def _resolve(self, rank: int, when: float, value: Any) -> None:
+        self.resolved_count += 1
+        self._resolved_batch.append((rank, when, value))
+
+    # -- per-algorithm programs -------------------------------------------
+    def _seed(self, rank: int) -> None:
+        kind = self.kind
+        if kind == "barrier":
+            dst = (rank + 1) % self.size
+            self._start_send(rank, dst, None, self.t_cur[rank])
+        elif kind == "reduce":
+            self.result[rank] = self.payloads[rank]
+            self._advance(rank)
+        elif kind == "gather":
+            if rank == self.root:
+                self.items[self.root] = self.payloads[rank]
+                self._advance(rank)
+            else:
+                self._start_send(rank, self.root, self.payloads[rank],
+                                 self.t_cur[rank])
+        elif kind == "allgather":
+            items = [None] * self.size
+            items[rank] = self.payloads[rank]
+            self.lists[rank] = items
+            self._start_send(rank, (rank + 1) % self.size,
+                             items[rank], self.t_cur[rank])
+        elif kind == "alltoall":
+            received = [None] * self.size
+            received[rank] = self.payloads[rank][rank]
+            self.lists[rank] = received
+            self.stage[rank] = 1
+            dest = (rank + 1) % self.size
+            self._start_send(rank, dest, self.payloads[rank][dest],
+                             self.t_cur[rank])
+        elif kind == "bcast":
+            if rank == self.root:
+                self.value = self.payloads[rank]
+                self.children[rank] = bcast_children(rank, self.root,
+                                                     self.size)
+                self._bcast_forward(rank, self.t_cur[rank])
+            else:
+                self._advance(rank)
+
+    def _sent(self, rank: int, end: float) -> None:
+        """A rank's outstanding send completed at ``end``."""
+        kind = self.kind
+        if kind in ("reduce", "gather"):
+            # Blocking leaf/child send: the rank is done once it returns.
+            self._resolve(rank, end, None)
+        elif kind in ("barrier", "allgather", "alltoall"):
+            self._advance(rank)
+        elif kind == "bcast":
+            # The next (sequential, blocking) send is unblocked by this
+            # one's completion.
+            self.cause[rank] = self.send_exec[rank]
+            self.t_cur[rank] = end
+            self._bcast_forward(rank, end)
+
+    def _advance(self, rank: int) -> None:
+        kind = self.kind
+        size = self.size
+        if kind == "barrier":
+            k = self.stage[rank]
+            if self.send_end[rank] is None:
+                return
+            src = (rank - (1 << k)) % size
+            got = self._take(rank, src)
+            if got is None:
+                return
+            if self.send_end[rank] > max(self.t_cur[rank], got[0]):
+                self.cause[rank] = self.send_exec[rank]
+            nxt = max(self.send_end[rank], got[0])
+            self.t_cur[rank] = nxt
+            self.stage[rank] = k + 1
+            self.send_end[rank] = None
+            if k + 1 == self.rounds:
+                self._resolve(rank, nxt, None)
+                return
+            self._start_send(rank, (rank + (1 << (k + 1))) % size,
+                             None, nxt)
+        elif kind == "reduce":
+            relrank = (rank - self.root) % size
+            mask = self.mask[rank]
+            while mask < size:
+                if relrank & mask == 0:
+                    peer = relrank | mask
+                    if peer < size:
+                        src = (peer + self.root) % size
+                        got = self._take(rank, src)
+                        if got is None:
+                            self.mask[rank] = mask
+                            return
+                        self.t_cur[rank] = max(self.t_cur[rank], got[0])
+                        self.result[rank] = self.op(got[1],
+                                                    self.result[rank])
+                else:
+                    dest = ((relrank & ~mask) + self.root) % size
+                    self.mask[rank] = mask << 1
+                    self._start_send(rank, dest, self.result[rank],
+                                     self.t_cur[rank])
+                    return
+                mask <<= 1
+            self.mask[rank] = mask
+            # relrank 0 (the root) is the only rank that exits the loop.
+            self._resolve(rank, self.t_cur[rank], self.result[rank])
+        elif kind == "gather":
+            while self.got < size - 1 and self.pool:
+                when, value, src = self.pool.popleft()
+                self.t_cur[rank] = max(self.t_cur[rank], when)
+                self.items[src] = value
+                self.got += 1
+            if self.got == size - 1:
+                self._resolve(rank, self.t_cur[rank], self.items)
+        elif kind == "allgather":
+            s = self.stage[rank]
+            if self.send_end[rank] is None:
+                return
+            got = self._take(rank, (rank - 1) % size)
+            if got is None:
+                return
+            if self.send_end[rank] > max(self.t_cur[rank], got[0]):
+                self.cause[rank] = self.send_exec[rank]
+            items = self.lists[rank]
+            items[(rank - s - 1) % size] = got[1]
+            nxt = max(self.send_end[rank], got[0])
+            self.t_cur[rank] = nxt
+            self.stage[rank] = s + 1
+            self.send_end[rank] = None
+            if s + 1 == size - 1:
+                self._resolve(rank, nxt, items)
+                return
+            self._start_send(rank, (rank + 1) % size,
+                             items[(rank - s - 1) % size], nxt)
+        elif kind == "alltoall":
+            s = self.stage[rank]
+            if self.send_end[rank] is None:
+                return
+            source = (rank - s) % size
+            got = self._take(rank, source)
+            if got is None:
+                return
+            if self.send_end[rank] > max(self.t_cur[rank], got[0]):
+                self.cause[rank] = self.send_exec[rank]
+            self.lists[rank][source] = got[1]
+            nxt = max(self.send_end[rank], got[0])
+            self.t_cur[rank] = nxt
+            self.stage[rank] = s + 1
+            self.send_end[rank] = None
+            if s + 1 == size:
+                self._resolve(rank, nxt, self.lists[rank])
+                return
+            dest = (rank + s + 1) % size
+            self._start_send(rank, dest,
+                             self.payloads[rank][dest], nxt)
+        elif kind == "bcast":
+            if self.children[rank] is not None:
+                return  # already received; spurious wakeup
+            src = bcast_parent(rank, self.root, size)
+            got = self._take(rank, src)
+            if got is None:
+                return
+            self.t_cur[rank] = max(self.t_cur[rank], got[0])
+            self.value = got[1]
+            self.children[rank] = bcast_children(rank, self.root, size)
+            self._bcast_forward(rank, self.t_cur[rank])
+
+    def _bcast_forward(self, rank: int, t: float) -> None:
+        """Queue the next binomial-tree send of ``rank`` (or finish)."""
+        pending = self.children[rank]
+        if not pending:
+            self._resolve(rank, t, self.value)
+            return
+        self._start_send(rank, pending.popleft(), self.value, t)
+
+
+# ---------------------------------------------------------------------------
+# Communicator-level state and the live rendezvous
+# ---------------------------------------------------------------------------
+
+class FastCollState:
+    """Per-communicator eligibility record for the fast path."""
+
+    __slots__ = ("shared", "nodes")
+
+    def __init__(self, shared, nodes: list[int]):
+        self.shared = shared
+        self.nodes = nodes
+
+    def wire(self) -> Wire:
+        return Wire(self.shared.world.machine.network, self.nodes)
+
+    def live_call(self, kind: str, tag: int, *, root: int = 0,
+                  op: Optional[Callable] = None) -> "LiveCall":
+        calls = self.shared._fast_calls
+        call = calls.get(tag)
+        if call is None:
+            call = calls[tag] = LiveCall(self, kind, tag, root=root, op=op)
+        return call
+
+
+def build_state(shared) -> Optional[FastCollState]:
+    """Structural eligibility of a communicator for the fast path.
+
+    Returns ``None`` when the arithmetic replay could diverge from the
+    event kernel (shared nodes, oversubscribable backplane).  The
+    per-call dynamic conditions (flag, tracing, payload types) are
+    checked by the callers in :mod:`repro.mpi.comm`.
+    """
+    machine = shared.world.machine
+    spec = getattr(machine, "spec", None)
+    if spec is None or spec.cpus_per_node != 1:
+        return None
+    nodes = [machine.node_of(p) for p in shared.processors]
+    if len(set(nodes)) != len(nodes):
+        return None
+    net = machine.network
+    bw_max = max(machine.nodes[n].nic.bandwidth for n in nodes)
+    if len(nodes) * bw_max > net.backplane_bandwidth:
+        return None
+    return FastCollState(shared, nodes)
+
+
+class LiveCall:
+    """One in-flight rendezvous collective, bridging CollSim to events.
+
+    Each rank's :meth:`join` registers its arrival and returns the event
+    it must yield.  Completions resolve progressively; a *pump* event
+    wakes the replay when a pending send's start time passes before the
+    next rank arrives (so early completions — e.g. reduce leaves — fire
+    at their true times, never late).
+    """
+
+    def __init__(self, state: FastCollState, kind: str, tag: int, *,
+                 root: int = 0, op: Optional[Callable] = None):
+        shared = state.shared
+        self.shared = shared
+        self.tag = tag
+        self.env: Environment = shared.world.env
+        self.sim = CollSim(kind, shared.size, state.wire(), root=root,
+                           op=op, stats=shared.stats)
+        self.events: dict[int, Event] = {}
+        self._pump_at: Optional[float] = None
+
+    def join(self, rank: int, payload: Any) -> Event:
+        ev = Event(self.env)
+        self.events[rank] = ev
+        now = self.env.now
+        resolved = self.sim.arrive(rank, now, payload)
+        self._finish_drain(now, resolved)
+        return ev
+
+    def _finish_drain(self, now: float, resolved: list) -> None:
+        if resolved:
+            self.env.schedule_many(
+                (self.events[rank], value, when)
+                for rank, when, value in resolved)
+        if self.sim.finished:
+            self.shared._fast_calls.pop(self.tag, None)
+            return
+        nxt = self.sim.next_start()
+        if nxt is not None and (self._pump_at is None
+                                or nxt < self._pump_at):
+            self._pump_at = nxt
+            pump = self.env.wake_at(max(now, nxt))
+            assert pump.callbacks is not None
+            pump.callbacks.append(self._on_pump)
+
+    def _on_pump(self, _event: Event) -> None:
+        self._pump_at = None
+        if self.sim.finished:
+            return
+        now = self.env.now
+        resolved = self.sim.drain(now)
+        self._finish_drain(now, resolved)
+
+
+# ---------------------------------------------------------------------------
+# Detached replay (closed-form cost tables)
+# ---------------------------------------------------------------------------
+
+def replay_chain(network, nodes: list[int],
+                 steps: list[tuple], t0: float = 0.0) -> list[float]:
+    """Per-rank completion times of a chain of collectives on a quiet
+    network, starting synchronized at ``t0``.
+
+    ``steps`` is a list of ``(kind, root, payloads)`` — each collective's
+    arrivals are the previous one's completions.  Uses scratch engine
+    state (a hypothetical replay, not live traffic) and records no
+    stats.  This is the closed-form primitive behind the LU per-panel
+    cost table.
+    """
+    times = [t0] * len(nodes)
+    engines: dict = {}
+    from repro.mpi.ops import SUM
+    for kind, root, payloads in steps:
+        wire = Wire(network, nodes, engines=engines, record_stats=False)
+        sim = CollSim(kind, len(nodes), wire, root=root, op=SUM)
+        resolved: list = []
+        order = sorted(range(len(nodes)), key=lambda r: times[r])
+        for rank in order:
+            resolved.extend(sim.arrive(rank, times[rank], payloads[rank]))
+        resolved.extend(sim.drain(float("inf")))
+        for rank, when, _value in resolved:
+            times[rank] = when
+    return times

@@ -43,8 +43,9 @@ from repro.mpi.datatypes import SizedPayload
 from repro.mpi.errors import MPIError
 from repro.redist.schedule import Message2D, Schedule2D
 from repro.redist.tables import (
-    cached_2d_schedule,
+    build_rank_plans,
     cached_2d_traffic,
+    cached_rank_plans,
     message_nbytes,
     schedule_traffic,
 )
@@ -154,7 +155,6 @@ def redistribute(comm: Comm, source: DistributedMatrix,
                        f"of {P} and {Q}")
     new_desc = old_desc.with_grid(new_grid)
     me = comm.rank
-    in_old = me < P
     in_new = me < Q
 
     # The simulator is one OS process, so the destination matrix is a
@@ -168,15 +168,21 @@ def redistribute(comm: Comm, source: DistributedMatrix,
     target = yield from comm.bcast(target, root=0)
 
     if schedule is None:
-        schedule = cached_2d_schedule(
+        plan = cached_rank_plans(
             old_desc.row_blocks, old_desc.col_blocks,
-            old_grid.shape, new_grid.shape)
+            old_grid.shape, new_grid.shape,
+            old_desc.m, old_desc.n, old_desc.mb, old_desc.nb,
+            old_desc.itemsize)
         total_wire, _total_local = cached_2d_traffic(
             old_desc.row_blocks, old_desc.col_blocks,
             old_grid.shape, new_grid.shape,
             old_desc.m, old_desc.n, old_desc.mb, old_desc.nb,
             old_desc.itemsize)
     else:
+        plan = build_rank_plans(
+            schedule, old_grid, new_grid,
+            old_desc.m, old_desc.n, old_desc.mb, old_desc.nb,
+            old_desc.itemsize)
         total_wire, _total_local = _schedule_traffic(
             schedule, old_desc, old_grid, new_grid)
 
@@ -187,25 +193,16 @@ def redistribute(comm: Comm, source: DistributedMatrix,
     result = RedistributionResult(matrix=target, elapsed=0.0,
                                   total_bytes_moved=total_wire,
                                   payload_nbytes=old_desc.global_nbytes,
-                                  steps=schedule.num_steps)
+                                  steps=plan.num_steps)
 
-    for step_idx, step in enumerate(schedule.steps):
+    # Precomputed delivery: each rank walks only its own per-step send
+    # and receive lists (repro.redist.tables.RedistPlan) instead of
+    # rescanning every message of every step.
+    for step_idx, rank_step in enumerate(plan.rank_steps(me)):
         tag = _REDIST_TAG + step_idx
-        my_sends: list[tuple[Message2D, int]] = []
-        my_recvs: list[Message2D] = []
-        for msg in step:
-            src_rank = old_grid.rank_of(*msg.src)
-            dst_rank = new_grid.rank_of(*msg.dst)
-            if in_old and src_rank == me:
-                my_sends.append((msg, dst_rank))
-            if in_new and dst_rank == me and src_rank != me:
-                my_recvs.append(msg)
 
         pending = []
-        for msg, dst_rank in my_sends:
-            nbytes = _message_nbytes(old_desc, msg)
-            if nbytes == 0:
-                continue
+        for msg, dst_rank, nbytes in rank_step.sends:
             # Packing: one pass over the message payload through memory.
             yield comm.env.timeout(nbytes / memory_bandwidth)
             if dst_rank == me:
@@ -230,9 +227,7 @@ def redistribute(comm: Comm, source: DistributedMatrix,
         # A contention-free schedule gives each rank at most one receive
         # per step; degraded schedules (the naive ablation baseline) may
         # give several — accept them in arrival order.
-        expected = sum(1 for m in my_recvs
-                       if _message_nbytes(old_desc, m) > 0)
-        for _ in range(expected):
+        for _ in range(rank_step.recv_count):
             payload = yield from comm.recv(source=ANY_SOURCE, tag=tag)
             nbytes = payload.nbytes
             if source.materialized:

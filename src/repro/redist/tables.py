@@ -161,3 +161,91 @@ def cached_2d_traffic(row_blocks: int, col_blocks: int,
     return schedule_traffic(schedule, ProcessGrid(*src_grid),
                             ProcessGrid(*dst_grid), m, n, mb, nb,
                             itemsize)
+
+
+# ---------------------------------------------------------------------------
+# Per-rank delivery plans (redistribution hot path)
+#
+# The driver used to rediscover, on every rank and at every step, which
+# of the step's messages it sends or receives — an O(ranks x messages)
+# scan per redistribution that dominated phantom-mode host time.  A
+# RedistPlan tabulates the routing once per (schedule, layout) key:
+# rank r reads its own step list and touches nothing else.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RankStep:
+    """What one communicator rank does in one schedule step.
+
+    ``sends`` preserves the schedule's message order and excludes empty
+    messages (the driver never ships zero bytes); ``recv_count`` is the
+    number of nonzero inbound messages from *other* ranks.
+    """
+
+    sends: tuple  # of (Message2D, dst_rank, nbytes)
+    recv_count: int
+
+
+_EMPTY_RANK_STEP = RankStep(sends=(), recv_count=0)
+
+
+@dataclass(frozen=True)
+class RedistPlan:
+    """Per-rank, per-step routing of one redistribution schedule."""
+
+    num_steps: int
+    by_rank: dict  # rank -> tuple[RankStep, ...]
+
+    def rank_steps(self, rank: int) -> tuple:
+        steps = self.by_rank.get(rank)
+        if steps is None:
+            return (_EMPTY_RANK_STEP,) * self.num_steps
+        return steps
+
+
+def build_rank_plans(schedule, src_grid, dst_grid, m: int, n: int,
+                     mb: int, nb: int, itemsize: int) -> RedistPlan:
+    """Tabulate an arbitrary schedule into a :class:`RedistPlan`."""
+    sends: dict[int, list] = {}
+    recvs: dict[int, list] = {}
+    num_steps = schedule.num_steps
+    for step_idx, step in enumerate(schedule.steps):
+        for msg in step:
+            nbytes = message_nbytes(m, n, mb, nb, itemsize, msg)
+            if nbytes == 0:
+                continue
+            src_rank = src_grid.rank_of(*msg.src)
+            dst_rank = dst_grid.rank_of(*msg.dst)
+            sends.setdefault(src_rank, [[] for _ in range(num_steps)])[
+                step_idx].append((msg, dst_rank, nbytes))
+            if dst_rank != src_rank:
+                counts = recvs.setdefault(dst_rank, [0] * num_steps)
+                counts[step_idx] += 1
+    by_rank: dict[int, tuple] = {}
+    for rank in set(sends) | set(recvs):
+        rank_sends = sends.get(rank)
+        rank_recvs = recvs.get(rank)
+        by_rank[rank] = tuple(
+            RankStep(
+                sends=tuple(rank_sends[s]) if rank_sends else (),
+                recv_count=rank_recvs[s] if rank_recvs else 0)
+            for s in range(num_steps))
+    return RedistPlan(num_steps=num_steps, by_rank=by_rank)
+
+
+@lru_cache(maxsize=256)
+def cached_rank_plans(row_blocks: int, col_blocks: int,
+                      src_grid: tuple[int, int], dst_grid: tuple[int, int],
+                      m: int, n: int, mb: int, nb: int,
+                      itemsize: int) -> RedistPlan:
+    """Memoized :func:`build_rank_plans` of the cached default schedule.
+
+    The returned plan is shared — treat it as read-only.
+    """
+    from repro.blacs.grid import ProcessGrid
+
+    schedule = cached_2d_schedule(row_blocks, col_blocks,
+                                  src_grid, dst_grid)
+    return build_rank_plans(schedule, ProcessGrid(*src_grid),
+                            ProcessGrid(*dst_grid), m, n, mb, nb,
+                            itemsize)

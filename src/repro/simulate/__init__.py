@@ -17,6 +17,7 @@ identical trajectories.
 """
 
 from repro.simulate.engine import (
+    AggregateEvent,
     AllOf,
     AnyOf,
     Environment,
@@ -29,6 +30,7 @@ from repro.simulate.engine import (
 from repro.simulate.resources import Resource, Store
 
 __all__ = [
+    "AggregateEvent",
     "AllOf",
     "AnyOf",
     "Environment",

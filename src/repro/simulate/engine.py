@@ -228,6 +228,49 @@ class Process(Event):
         self.env._active_proc = None
 
 
+class AggregateEvent(Event):
+    """One heap entry that fires a batch of member events together.
+
+    The batched-completion primitive behind the phantom fast path: a
+    P-rank collective resolves all P per-rank completion events through a
+    single scheduled entry instead of P separate ones.  Members are
+    resolved (value assigned) when added and delivered — callbacks run,
+    ``processed`` becomes true — when the aggregate itself fires.
+    Members fire in the order they were added.
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self.members: list[Event] = []
+        self._value = None
+        self._ok = True
+        assert self.callbacks is not None
+        self.callbacks.append(self._fire_members)
+
+    def add(self, event: Event, value: Any = None, ok: bool = True) -> None:
+        """Attach ``event`` as a member resolving to ``value``."""
+        if event.triggered or event._scheduled:
+            raise SimulationError(f"{event!r} already triggered/scheduled")
+        if event.env is not self.env:
+            raise SimulationError("event belongs to a different Environment")
+        event._value = value
+        event._ok = ok
+        # The aggregate owns delivery; nothing else may schedule it.
+        event._scheduled = True
+        self.members.append(event)
+
+    def _fire_members(self, _event: Event) -> None:
+        for member in self.members:
+            callbacks = member.callbacks
+            member.callbacks = None
+            member._processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(member)
+
+
 class _Condition(Event):
     """Base for AllOf/AnyOf: fires when ``_check`` says enough children did."""
 
@@ -315,6 +358,51 @@ class Environment:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority,
                                      self._seq, event))
+
+    def schedule_at(self, event: Event, when: float,
+                    priority: int = NORMAL) -> None:
+        """Enqueue ``event`` to fire at the absolute time ``when``.
+
+        The phantom fast path computes completion times as absolute
+        clocks; scheduling them as ``now + (when - now)`` would lose the
+        last bit to float association, so this bypasses the delay form.
+        """
+        if when < self._now:
+            raise SimulationError(f"schedule_at({when}) is in the past "
+                                  f"(now {self._now})")
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (when, priority, self._seq, event))
+
+    def wake_at(self, when: float, value: Any = None) -> Event:
+        """An event that fires at the absolute time ``when``."""
+        ev = Event(self)
+        ev._value = value
+        ev._ok = True
+        self.schedule_at(ev, when)
+        return ev
+
+    def schedule_many(self, completions, priority: int = NORMAL
+                      ) -> list["AggregateEvent"]:
+        """Schedule many ``(event, value, when)`` completions at once.
+
+        ``when`` is an absolute simulated time.  Completions sharing a
+        time are grouped into one :class:`AggregateEvent`, so N
+        simultaneous logical completions cost one heap entry.  Within a
+        group, events fire in input order.  Returns the aggregates (one
+        per distinct time).
+        """
+        groups: dict[float, AggregateEvent] = {}
+        for event, value, when in completions:
+            agg = groups.get(when)
+            if agg is None:
+                agg = groups[when] = AggregateEvent(self)
+            agg.add(event, value)
+        for when, agg in groups.items():
+            self.schedule_at(agg, when, priority=priority)
+        return list(groups.values())
 
     # -- factories ------------------------------------------------------------
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:

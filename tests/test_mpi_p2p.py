@@ -171,6 +171,56 @@ def test_sendrecv_exchange():
     assert values == [10, 0]
 
 
+@pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+def test_sendrecv_ring_exchange(nprocs):
+    """Every rank shifts a value around a ring in one sendrecv.
+
+    All ranks post head-to-head simultaneously (send right, receive
+    left) — the pattern ``MPI_Sendrecv`` guarantees deadlock-free; the
+    send and receive must both be outstanding before either is waited
+    on.
+    """
+    def main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        got = yield from comm.sendrecv(comm.rank, dest=right,
+                                       source=left, send_tag=9,
+                                       recv_tag=9)
+        return got
+
+    _, values = run_spmd(main, nprocs=nprocs)
+    assert values == [(r - 1) % nprocs for r in range(nprocs)]
+
+
+def test_sendrecv_pairwise_same_tag_full_duplex():
+    """Head-to-head pairs exchange concurrently: both directions ride
+    the full-duplex NICs, so the exchange costs one transfer time, not
+    two (the regression the concurrent posting protects)."""
+    def timed(serialized):
+        env, world = make_world(num_nodes=4)
+        out = {}
+
+        def main(comm):
+            partner = 1 - comm.rank
+            if serialized and comm.rank == 1:
+                # Reference: a strictly sequential recv-then-send.
+                got = yield from comm.recv(source=partner, tag=3)
+                yield from comm.send(Phantom(10_000_000), dest=partner,
+                                     tag=3)
+            else:
+                got = yield from comm.sendrecv(
+                    Phantom(10_000_000), dest=partner, source=partner,
+                    send_tag=3, recv_tag=3)
+            out[comm.rank] = comm.env.now
+            return got
+
+        world.launch(main, processors=[0, 1])
+        env.run()
+        return max(out.values())
+
+    assert timed(serialized=False) < timed(serialized=True)
+
+
 def test_wait_all_collects_in_order():
     def main(comm):
         if comm.rank == 0:

@@ -1,0 +1,97 @@
+"""Scheduler scale guard: thousands of queued jobs.
+
+The paper's workloads have 4-5 jobs; the workload generator can produce
+thousands.  ``JobQueue.next_startable`` is an O(queue) scan per
+scheduler wake (simple backfill, no reservations) — these tests pin
+its correctness at that scale and guard the wake cost so a future
+accidental O(n^2) (e.g. copying the queue per probe) shows up as a
+regression.  ROADMAP keeps the O(n) scan as a known open item.
+"""
+
+import time
+
+from repro.core.job import Job
+from repro.core.queue import JobQueue
+from repro.workloads.generator import WorkloadGenerator
+
+
+def make_jobs(count):
+    gen = WorkloadGenerator(seed=7, mean_interarrival=1.0, max_initial=16)
+    specs = gen.generate(count)
+    jobs = []
+    for spec in specs:
+        app = spec.build(iterations=1)
+        jobs.append(Job(app=app, initial_config=spec.initial_config,
+                        arrival_time=spec.arrival, name=spec.name))
+    return jobs
+
+
+def test_generator_produces_enqueueable_mix():
+    jobs = make_jobs(2000)
+    assert len(jobs) == 2000
+    sizes = {job.requested_size for job in jobs}
+    assert len(sizes) > 1
+    assert all(1 <= job.requested_size <= 16 for job in jobs)
+
+
+def test_backfill_correct_at_two_thousand_jobs():
+    queue = JobQueue(backfill=True)
+    jobs = make_jobs(2000)
+    for job in jobs:
+        queue.enqueue(job)
+    assert len(queue) == 2000
+
+    # With zero free processors nothing can start.
+    assert queue.next_startable(0) is None
+    # The head starts when it fits.
+    head = queue.head()
+    assert queue.next_startable(head.requested_size) is head
+    # When the head does not fit, the first fitting later job backfills.
+    free = head.requested_size - 1
+    expected = next((j for j in jobs[1:] if j.requested_size <= free),
+                    None)
+    assert queue.next_startable(free) is expected
+
+    # Drain the whole queue through the startable/remove cycle.
+    started = 0
+    while len(queue):
+        job = queue.next_startable(16)
+        assert job is not None
+        queue.remove(job)
+        started += 1
+    assert started == 2000
+
+
+def test_wake_scan_cost_stays_linear():
+    """2000 queued jobs, repeated worst-case probes (nothing fits).
+
+    The bound is deliberately loose for shared CI hosts — it exists to
+    catch accidental quadratic behaviour (each probe copying the queue,
+    re-sorting, etc.), which overshoots it by an order of magnitude.
+    """
+    queue = JobQueue(backfill=True)
+    for job in make_jobs(2000):
+        queue.enqueue(job)
+    probes = 200
+    t0 = time.perf_counter()
+    for _ in range(probes):
+        assert queue.next_startable(0) is None
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 2.0, (f"{probes} worst-case backfill probes over "
+                           f"2000 jobs took {elapsed:.2f}s")
+
+
+def test_enqueue_keeps_priority_then_fcfs_order_at_scale():
+    queue = JobQueue(backfill=True)
+    jobs = make_jobs(300)
+    for i, job in enumerate(jobs):
+        job.priority = i % 3
+        queue.enqueue(job)
+    order = list(queue)
+    priorities = [job.priority for job in order]
+    assert priorities == sorted(priorities, reverse=True)
+    # FCFS within each priority class.
+    for level in (0, 1, 2):
+        names = [j.name for j in order if j.priority == level]
+        expected = [j.name for j in jobs if j.priority == level]
+        assert names == expected
