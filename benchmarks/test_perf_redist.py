@@ -30,7 +30,12 @@ import numpy as np
 
 from repro.blacs import ProcessGrid
 from repro.cluster import Machine, MachineSpec
-from repro.darray import Descriptor, DistributedMatrix
+from repro.darray import (
+    Descriptor,
+    DistributedMatrix,
+    copy_rect,
+    release_strips,
+)
 from repro.metrics import format_table
 from repro.mpi import World
 from repro.redist import redistribute
@@ -140,16 +145,27 @@ def test_perf_redistribution_data_path(report):
                                 _pack_blocks_loop(src, sr, msg))
 
     def run_vec():
+        # The driver's data path: local-copy messages are fused into one
+        # direct src->dst scatter; wire messages pack into pooled strips
+        # that the unpack side recycles (repro.darray.strip_pool).
         for msg, sr, dr in routed:
+            if sr == dr:
+                copy_rect(src, sr, t_vec_target, dr,
+                          msg.row_blocks, msg.col_blocks)
+                continue
+            strips = src.pack_rect(sr, msg.row_blocks, msg.col_blocks,
+                                   pooled=True)
             t_vec_target.unpack_rect(dr, msg.row_blocks, msg.col_blocks,
-                                     src.pack_rect(sr, msg.row_blocks,
-                                                   msg.col_blocks))
+                                     strips)
+            release_strips(strips)
 
-    # Two alternating rounds each; the minimum discounts first-touch
-    # page faults and scheduler noise on a shared host.
+    # Alternating rounds; the minimum discounts first-touch page
+    # faults and scheduler noise on a shared host (the copy path is
+    # memory-bandwidth-bound, so single samples swing with ambient
+    # load).
     t_pack_loop = float("inf")
     t_pack_vec = float("inf")
-    for _ in range(2):
+    for _ in range(3):
         t0 = time.perf_counter()
         run_loop()
         t_pack_loop = min(t_pack_loop, time.perf_counter() - t0)
@@ -240,7 +256,7 @@ def test_perf_redistribution_data_path(report):
         # redistribution is at least 5x faster than the loop reference.
         assert results["speedup"] >= 5.0, results
         assert results["schedule_build"]["speedup"] >= 5.0, results
-        # The copy path must never regress below the loop implementation
-        # by more than measurement noise (it is memory-bandwidth-bound,
-        # so parity is the expectation, not a large win).
-        assert t_pack_vec <= t_pack_loop * 1.5, results
+        # The copy path must beat the loop reference: fused local
+        # copies + pooled strips recover the PR 2 regression (0.95x)
+        # and then some.
+        assert results["pack_unpack"]["speedup"] >= 1.0, results

@@ -303,6 +303,9 @@ def _iteration_loop(rctx: ResizeContext) -> Generator:
     app = job.app
     framework = rctx.framework
     while rctx.iteration < app.iterations:
+        # This loop barriers around every iteration, which is what makes
+        # measure-once iteration replay sound (Application.replay_iterations).
+        rctx.ctx.iteration_anchored = True
         yield from rctx.comm.barrier()
         t0 = rctx.ctx.env.now
         yield from app.iterate(rctx.ctx)

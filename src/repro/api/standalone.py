@@ -71,6 +71,9 @@ def run_static(app: Application, config: tuple[int, int], *,
     def main(comm):
         blacs = yield from BlacsContext.create(comm, pr, pc)
         ctx = AppContext(comm, blacs, data, machine)
+        # Iterations are driven between barriers here, so measure-once
+        # replay (Application.replay_iterations) is sound.
+        ctx.iteration_anchored = True
         for _it in range(iters):
             yield from comm.barrier()
             t0 = env.now

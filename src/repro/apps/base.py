@@ -28,6 +28,12 @@ class AppContext:
         self.blacs = blacs
         self.data = data
         self.machine = machine
+        #: Set by runtimes that drive iterations between barriers (the
+        #: resizing library's iteration loop and ``run_static`` both
+        #: do).  :meth:`Application.replay_iterations` requires it — an
+        #: unanchored iteration's duration depends on arbitrary caller
+        #: state and must not be replayed.
+        self.iteration_anchored = False
 
     @property
     def rank(self) -> int:
@@ -43,7 +49,10 @@ class AppContext:
 
     @property
     def materialized(self) -> bool:
-        return any(dm.materialized for dm in self.data.values())
+        """True when any global array holds real data (the data dict can
+        also carry plain bookkeeping entries, e.g. replay caches)."""
+        return any(dm.materialized for dm in self.data.values()
+                   if isinstance(dm, DistributedMatrix))
 
     def charge(self, flops: float) -> Generator:
         """Occupy this rank's processor for ``flops`` of local work."""
@@ -126,6 +135,70 @@ class Application(abc.ABC):
     @abc.abstractmethod
     def iterate(self, ctx: AppContext) -> Generator:
         """One outer iteration, executed SPMD by every rank."""
+
+    def replay_iterations(self, ctx: AppContext, body, *, key=(),
+                          confirm: int = 1, tol: float = 0.0) -> Generator:
+        """Run one outer iteration, replaying measured durations when
+        that is provably equivalent (the measure-once trick PR 2 built
+        for LU, generalized).
+
+        ``body`` is a zero-argument callable returning the iteration
+        generator.  In phantom mode, when the runtime barriers around
+        iterations (``ctx.iteration_anchored``) and the communicator
+        rides the phantom fast path (deterministic simulation, no
+        tracing), an iteration's per-rank duration is a pure function of
+        the processor configuration — so after ``confirm`` fully
+        measured iterations at a configuration (whose per-rank duration
+        vectors must agree within relative ``tol`` when ``confirm > 1``)
+        the remaining iterations advance the clock in O(1) per rank.
+        Replayed iterations book no traffic (documented in
+        ``docs/phantom.md``) and return ``None``; anything else — a
+        materialized run, a custom non-anchored driver, the fast path
+        switched off, unstable measurements — runs ``body`` live.
+
+        The decision is SPMD-safe: the shared cache is complete for
+        iteration ``k-1`` before any rank enters iteration ``k`` (the
+        runtime barrier guarantees it), so every rank takes the same
+        branch.
+        """
+        comm = ctx.comm
+        fast = None if (self.materialized or ctx.materialized) \
+            else comm._fastcoll()
+        if (fast is None or not fast.exclusive
+                or not ctx.iteration_anchored):
+            # fast.exclusive: ranks sharing NICs with other jobs
+            # (cpus_per_node > 1) make iteration durations depend on
+            # concurrent traffic — never replay those.
+            result = yield from body()
+            return result
+        cache = ctx.data.setdefault("_iter_replay", {})
+        ckey = (self.name, tuple(comm.processors),
+                None if ctx.blacs is None else ctx.blacs.grid.shape,
+                *key)
+        runs = cache.setdefault(ckey, [])
+        size = comm.size
+        done = [r for r in runs if len(r) == size]
+        if len(done) >= confirm:
+            last = done[-1]
+            stable = True
+            if confirm > 1:
+                prev = done[-2]
+                for rank in range(size):
+                    a, b = prev[rank], last[rank]
+                    if a != b and abs(a - b) > tol * max(abs(a), abs(b)):
+                        stable = False
+                        break
+            if stable:
+                if last[comm.rank] > 0:
+                    yield ctx.env.timeout(last[comm.rank])
+                return None
+        if len(runs) == len(done):
+            runs.append({})
+        slot = runs[-1]
+        t0 = ctx.env.now
+        result = yield from body()
+        slot[comm.rank] = ctx.env.now - t0
+        return result
 
     def legal_configs(self, max_procs: int,
                       min_procs: int = 1) -> list[tuple[int, int]]:

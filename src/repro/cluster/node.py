@@ -27,10 +27,11 @@ class Nic:
         self.tx = Resource(env, capacity=1)
         self.rx = Resource(env, capacity=1)
         #: Engine availability as seen by the phantom fast path
-        #: (``[tx_free, rx_free]`` simulated times).  Fast-path
-        #: collectives do not hold the :class:`Resource` engines; they
-        #: track occupancy here so consecutive fast collectives see each
-        #: other's serialization (see ``repro.mpi.fastcoll``).
+        #: (``[tx_free, rx_free]`` simulated times).  Fast-path traffic
+        #: (point-to-point and collectives) does not hold the
+        #: :class:`Resource` engines; the shared network replay tracks
+        #: occupancy here so consecutive fast transfers see each
+        #: other's serialization (see ``repro.mpi.fastp2p``).
         self.fp_free = [0.0, 0.0]
         #: Cumulative bytes moved, for utilization accounting.
         self.bytes_sent = 0

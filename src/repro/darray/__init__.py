@@ -23,11 +23,19 @@ from repro.darray.blockcyclic import (
     numroc,
 )
 from repro.darray.descriptor import Descriptor
-from repro.darray.distributed import DistributedMatrix
+from repro.darray.distributed import (
+    DistributedMatrix,
+    copy_rect,
+    release_strips,
+    strip_pool,
+)
 
 __all__ = [
     "Descriptor",
     "DistributedMatrix",
+    "copy_rect",
+    "release_strips",
+    "strip_pool",
     "block_owner",
     "concat_ranges",
     "cyclic_global_indices",

@@ -8,6 +8,7 @@ mode the list holds ``None`` and only shapes/bytes are tracked.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -18,6 +19,101 @@ from repro.darray.blockcyclic import (
     local_block_spans,
 )
 from repro.darray.descriptor import Descriptor
+
+
+class StripPool:
+    """Reusable wire-format strip buffers for the redistribution copy path.
+
+    A redistribution's aggregated messages repeat the same strip shapes
+    at every step and at every resize point; allocating them fresh costs
+    first-touch page faults that show up directly in the memory-bound
+    copy path.  The pool recycles buffers by (shape, dtype) — callers
+    take strips during pack and give them back after unpack.
+    """
+
+    #: Buffers kept per (shape, dtype) key; beyond this they are dropped
+    #: back to the allocator so the pool stays bounded.
+    max_per_key = 32
+    #: Total retained bytes across all keys; give() drops buffers past
+    #: this, so a session cycling through many distinct layouts cannot
+    #: accumulate unbounded dead memory.
+    budget_bytes = 256 * 2**20
+
+    def __init__(self):
+        self._free: dict[tuple, list] = {}
+        self._bytes = 0
+
+    def take(self, shape: tuple, dtype) -> np.ndarray:
+        stack = self._free.get((shape, dtype))
+        if stack:
+            array = stack.pop()
+            self._bytes -= array.nbytes
+            return array
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, array: np.ndarray) -> None:
+        if self._bytes + array.nbytes > self.budget_bytes:
+            return
+        key = (array.shape, array.dtype)
+        stack = self._free.setdefault(key, [])
+        if len(stack) < self.max_per_key:
+            stack.append(array)
+            self._bytes += array.nbytes
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._bytes = 0
+
+
+strip_pool = StripPool()
+
+
+def release_strips(strips: list) -> None:
+    """Return a consumed :meth:`DistributedMatrix.pack_rect` payload's
+    buffers to the shared pool (only for ``pooled=True`` packs)."""
+    for strip in strips:
+        strip_pool.give(strip)
+
+
+class _PathTimer:
+    """Runtime choice between equivalent copy strategies.
+
+    The gather/scatter and slice-run paths produce identical bytes but
+    their relative speed depends on block geometry and the BLAS/host —
+    measured, not guessed: the first few calls of each strategy per
+    layout key are timed (keeping each strategy's best per-byte cost,
+    so one scheduler hiccup cannot lock in the wrong path), after which
+    the faster one handles that layout.
+    """
+
+    __slots__ = ("_times", "_counts")
+
+    #: Samples per strategy before locking the choice in.
+    trials = 3
+
+    def __init__(self):
+        self._times: dict[tuple, dict[str, float]] = {}
+        self._counts: dict[tuple, dict[str, int]] = {}
+
+    def pick(self, key: tuple, names: tuple) -> tuple[str, bool]:
+        """``(strategy, measure)`` — measure is True while exploring."""
+        counts = self._counts.setdefault(key, {})
+        for name in names:
+            if counts.get(name, 0) < self.trials:
+                return name, True
+        return min(self._times[key], key=self._times[key].get), False
+
+    def record(self, key: tuple, name: str, seconds: float,
+               nbytes: int) -> None:
+        per_byte = seconds / max(nbytes, 1)
+        seen = self._times.setdefault(key, {})
+        if name not in seen or per_byte < seen[name]:
+            seen[name] = per_byte
+        self._counts[key][name] = self._counts[key].get(name, 0) + 1
+
+
+_pack_paths = _PathTimer()
+_unpack_paths = _PathTimer()
 
 
 class DistributedMatrix:
@@ -147,29 +243,71 @@ class DistributedMatrix:
         return spans, local_block_numbers(desc.n, desc.nb, col_blocks,
                                           desc.grid.pc)
 
+    def _pack_key(self, cspans, granular: bool) -> tuple:
+        """Layout signature for the runtime path choice (geometry that
+        decides gather vs slice-run speed)."""
+        return (self.desc.nb, len(cspans), self.dtype.itemsize, granular)
+
     def pack_rect(self, rank: int, row_blocks: tuple[int, ...],
-                  col_blocks: tuple[int, ...]) -> list[np.ndarray]:
+                  col_blocks: tuple[int, ...], *,
+                  pooled: bool = False) -> list[np.ndarray]:
         """Gather the cross product ``row_blocks x col_blocks`` from
         ``rank``'s local array into the message wire format (one dense
         strip per in-range row block).
 
         The caller must ensure ``rank`` owns every in-range block (true
-        for schedule messages).
+        for schedule messages).  With ``pooled=True`` the strips come
+        from the shared :class:`StripPool`; the consumer must hand them
+        back via :func:`release_strips` after unpacking.  The gather
+        strategy (block-granular ``np.take`` vs per-span slice runs) is
+        chosen at runtime per layout (see :class:`_PathTimer`); both
+        produce byte-identical strips.
         """
         desc = self.desc
         loc = self.local(rank)
         cspans, cblocks = self._col_plan(col_blocks)
         rspans = local_block_spans(desc.m, desc.mb, row_blocks,
                                    desc.grid.pr)
-        nlc = loc.shape[1]
-        if all(l == desc.nb for _s, l in cspans) and nlc % desc.nb == 0:
-            tiled = loc.reshape(loc.shape[0], nlc // desc.nb, desc.nb)
-            width = len(cspans) * desc.nb
-            return [np.take(tiled[rs:rs + rl], cblocks, axis=1)
-                    .reshape(rl, width) for rs, rl in rspans]
-        cidx = local_block_indices(desc.n, desc.nb, col_blocks,
-                                   desc.grid.pc)
-        return [loc[rs:rs + rl][:, cidx] for rs, rl in rspans]
+        width = sum(l for _s, l in cspans)
+        granular = (all(l == desc.nb for _s, l in cspans)
+                    and loc.shape[1] % desc.nb == 0)
+        key = self._pack_key(cspans, granular)
+        strategy, measure = _pack_paths.pick(
+            key, ("take", "slices") if granular else ("gather", "slices"))
+        t0 = time.perf_counter() if measure else 0.0
+
+        out = []
+        if strategy == "take":
+            tiled = loc.reshape(loc.shape[0], loc.shape[1] // desc.nb,
+                                desc.nb)
+            for rs, rl in rspans:
+                strip = (strip_pool.take((rl, width), self.dtype)
+                         if pooled else np.empty((rl, width), self.dtype))
+                np.take(tiled[rs:rs + rl], cblocks, axis=1,
+                        out=strip.reshape(rl, len(cspans), desc.nb))
+                out.append(strip)
+        elif strategy == "gather":
+            cidx = local_block_indices(desc.n, desc.nb, col_blocks,
+                                       desc.grid.pc)
+            for rs, rl in rspans:
+                strip = (strip_pool.take((rl, width), self.dtype)
+                         if pooled else np.empty((rl, width), self.dtype))
+                np.take(loc[rs:rs + rl], cidx, axis=1, out=strip)
+                out.append(strip)
+        else:  # "slices": one contiguous copy per (row strip, col span)
+            for rs, rl in rspans:
+                strip = (strip_pool.take((rl, width), self.dtype)
+                         if pooled else np.empty((rl, width), self.dtype))
+                off = 0
+                for cs, cl in cspans:
+                    strip[:, off:off + cl] = loc[rs:rs + rl, cs:cs + cl]
+                    off += cl
+                out.append(strip)
+        if measure:
+            nbytes = sum(s.nbytes for s in out)
+            _pack_paths.record(key, strategy,
+                               time.perf_counter() - t0, nbytes)
+        return out
 
     def unpack_rect(self, rank: int, row_blocks: tuple[int, ...],
                     col_blocks: tuple[int, ...],
@@ -180,18 +318,70 @@ class DistributedMatrix:
         cspans, cblocks = self._col_plan(col_blocks)
         rspans = local_block_spans(desc.m, desc.mb, row_blocks,
                                    desc.grid.pr)
-        nlc = loc.shape[1]
-        if all(l == desc.nb for _s, l in cspans) and nlc % desc.nb == 0:
-            tiled = loc.reshape(loc.shape[0], nlc // desc.nb, desc.nb)
+        granular = (all(l == desc.nb for _s, l in cspans)
+                    and loc.shape[1] % desc.nb == 0)
+        key = self._pack_key(cspans, granular)
+        strategy, measure = _unpack_paths.pick(
+            key, ("take", "slices") if granular else ("gather", "slices"))
+        t0 = time.perf_counter() if measure else 0.0
+
+        if strategy == "take":
+            tiled = loc.reshape(loc.shape[0], loc.shape[1] // desc.nb,
+                                desc.nb)
             for (rs, rl), strip in zip(rspans, strips):
                 tiled[rs:rs + rl][:, cblocks, :] = \
                     strip.reshape(rl, len(cspans), desc.nb)
-            return
-        cidx = local_block_indices(desc.n, desc.nb, col_blocks,
-                                   desc.grid.pc)
-        for (rs, rl), strip in zip(rspans, strips):
-            loc[rs:rs + rl][:, cidx] = strip
+        elif strategy == "gather":
+            cidx = local_block_indices(desc.n, desc.nb, col_blocks,
+                                       desc.grid.pc)
+            for (rs, rl), strip in zip(rspans, strips):
+                loc[rs:rs + rl][:, cidx] = strip
+        else:
+            for (rs, rl), strip in zip(rspans, strips):
+                off = 0
+                for cs, cl in cspans:
+                    loc[rs:rs + rl, cs:cs + cl] = strip[:, off:off + cl]
+                    off += cl
+        if measure:
+            nbytes = sum(s.nbytes for s in strips)
+            _unpack_paths.record(key, strategy,
+                                 time.perf_counter() - t0, nbytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "materialized" if self.materialized else "phantom"
         return f"<DistributedMatrix {self.desc} {mode}>"
+
+
+def copy_rect(src_dm: DistributedMatrix, src_rank: int,
+              dst_dm: DistributedMatrix, dst_rank: int,
+              row_blocks: tuple[int, ...],
+              col_blocks: tuple[int, ...]) -> None:
+    """Fused local-copy message: scatter ``row_blocks x col_blocks``
+    straight from ``src_rank``'s local array into ``dst_rank``'s.
+
+    Equivalent to ``dst.unpack_rect(..., src.pack_rect(...))`` but with
+    no wire-format temporaries at all — one contiguous slice copy per
+    (row strip, column span) pair.  Local copies are the largest
+    messages of a redistribution (everything that did not change owner),
+    so halving their memory traffic is the single biggest copy-path win.
+    """
+    src_desc = src_dm.desc
+    dst_desc = dst_dm.desc
+    if src_desc.rsrc != 0 or src_desc.csrc != 0 \
+            or dst_desc.rsrc != 0 or dst_desc.csrc != 0:
+        raise NotImplementedError(
+            "block addressing assumes rsrc == csrc == 0")
+    src = src_dm.local(src_rank)
+    dst = dst_dm.local(dst_rank)
+    src_rspans = local_block_spans(src_desc.m, src_desc.mb, row_blocks,
+                                   src_desc.grid.pr)
+    dst_rspans = local_block_spans(dst_desc.m, dst_desc.mb, row_blocks,
+                                   dst_desc.grid.pr)
+    src_cspans = local_block_spans(src_desc.n, src_desc.nb, col_blocks,
+                                   src_desc.grid.pc)
+    dst_cspans = local_block_spans(dst_desc.n, dst_desc.nb, col_blocks,
+                                   dst_desc.grid.pc)
+    for (srs, rl), (drs, _drl) in zip(src_rspans, dst_rspans):
+        for (scs, cl), (dcs, _dcl) in zip(src_cspans, dst_cspans):
+            dst[drs:drs + rl, dcs:dcs + cl] = src[srs:srs + rl,
+                                                  scs:scs + cl]

@@ -47,6 +47,7 @@ from repro.mpi.fastcoll import (
     bcast_children,
     build_state as _build_fastcoll_state,
 )
+from repro.mpi.fastp2p import NetReplay, net_replay
 from repro.mpi.ops import ReduceOp, SUM
 from repro.mpi.request import PersistentRequest, Request
 from repro.mpi.status import Status
@@ -96,6 +97,8 @@ class _CommShared:
         self.mailboxes = [Store(world.env) for _ in processors]
         self.id = next(_comm_ids)
         self.stats = CommStats()
+        #: Node index per rank (hot on the p2p fast path).
+        self.nodes = [world.machine.node_of(p) for p in self.processors]
         #: Structural fast-path eligibility (lazy; see repro.mpi.fastcoll).
         self._fastcoll_state: Any = _FASTCOLL_UNSET
         #: In-flight fast-path rendezvous, keyed by collective tag.
@@ -110,14 +113,6 @@ class _CommShared:
         if state is _FASTCOLL_UNSET:
             state = self._fastcoll_state = _build_fastcoll_state(self)
         return state
-
-
-def _deposit_at(env: Environment, store: Store, item: "Envelope",
-                when: float) -> None:
-    """Put ``item`` into ``store`` at the absolute time ``when``."""
-    ev = env.wake_at(when)
-    assert ev.callbacks is not None
-    ev.callbacks.append(lambda _e: store.put(item))
 
 
 class Comm:
@@ -157,7 +152,7 @@ class Comm:
         return self._shared.stats
 
     def node_of(self, rank: int) -> int:
-        return self.world.machine.node_of(self._shared.processors[rank])
+        return self._shared.nodes[rank]
 
     def view(self, rank: int) -> "Comm":
         """Another rank's view of this same communicator."""
@@ -176,10 +171,52 @@ class Comm:
             raise MPIError("application tags must be non-negative")
         yield from self._send_raw(payload, dest, tag)
 
+    def _fastp2p(self) -> Optional[NetReplay]:
+        """The point-to-point fast path's network replay, or None.
+
+        Point-to-point eligibility is sender-local: the receiver only
+        ever sees a mailbox envelope, so *any* payload can ride the
+        replay — the event chain it replaces carries no information
+        beyond the byte count.  Declined only when tracing needs real
+        transfers or the world switch is off.
+        """
+        world = self._shared.world
+        if not world.p2p_fastpath:
+            return None
+        network = world.machine.network
+        if network.trace:
+            return None
+        return net_replay(network)
+
+    def _fast_send_event(self, replay: NetReplay, payload: Any, dest: int,
+                         tag: int, nbytes: int, *,
+                         start: Optional[float] = None,
+                         collect: Optional[list] = None) -> Event:
+        """Register one fast-path send; the returned event fires at the
+        deposit time with the envelope already in the mailbox (the
+        deposit callback precedes any waiter's resume — the intra-instant
+        ordering the equivalence contract relies on)."""
+        shared = self._shared
+        nodes = shared.nodes
+        ev = replay.send_event(
+            nodes[self.rank], nodes[dest], nbytes,
+            shared.world.env.now if start is None else start,
+            collect=collect)
+        store = shared.mailboxes[dest]
+        envelope = Envelope(source=self.rank, tag=tag, payload=payload,
+                            nbytes=nbytes)
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda _e: store.deposit(envelope))
+        return ev
+
     def _send_raw(self, payload: Any, dest: int, tag: int) -> Generator:
         nbytes = payload_nbytes(payload)
         self._shared.stats.sends += 1
         self._shared.stats.bytes_sent += nbytes
+        replay = self._fastp2p()
+        if replay is not None:
+            yield self._fast_send_event(replay, payload, dest, tag, nbytes)
+            return
         src_node = self.node_of(self.rank)
         dst_node = self.node_of(dest)
         yield from self.world.machine.network.transfer(
@@ -191,6 +228,13 @@ class Comm:
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send; returns a :class:`Request`."""
         self._check_rank(dest, "destination")
+        replay = self._fastp2p()
+        if replay is not None:
+            nbytes = payload_nbytes(payload)
+            self._shared.stats.sends += 1
+            self._shared.stats.bytes_sent += nbytes
+            ev = self._fast_send_event(replay, payload, dest, tag, nbytes)
+            return Request(self.env, ev)
         proc = self.env.process(self._send_raw(payload, dest, tag),
                                 name=f"isend:{self.rank}->{dest}")
         return Request(self.env, proc)
@@ -217,6 +261,20 @@ class Comm:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive; ``wait()`` returns the payload."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        if self._fastp2p() is not None:
+            # No driver process: the filtered mailbox get *is* the
+            # operation; it fires with the matching envelope at deposit
+            # time, exactly when the generator path's recv would return.
+            def matches(envelope: Envelope) -> bool:
+                return ((source == ANY_SOURCE or
+                         envelope.source == source) and
+                        (tag == ANY_TAG or envelope.tag == tag))
+
+            get_ev = self._shared.mailboxes[self.rank].get(matches)
+            return Request(self.env, get_ev,
+                           transform=lambda envelope: envelope.payload)
         proc = self.env.process(self.recv(source, tag),
                                 name=f"irecv:{self.rank}")
         return Request(self.env, proc)
@@ -268,29 +326,39 @@ class Comm:
             return None
         return shared.fast_state()
 
-    def _fast_bcast_forward(self, fast: FastCollState,
-                            token: FastBcastToken, root: int,
+    def _fast_bcast_forward(self, token: FastBcastToken, root: int,
                             tag: int) -> Generator:
         """Forward a fast-broadcast token to this rank's tree children.
 
         Deposits land in the children's mailboxes at exactly the times
         the generator path's transfers would produce; this rank's clock
         advances by the duration of its own (sequential, blocking)
-        sends.
+        sends.  On exact-backplane networks a send's completion may be
+        deferred — then this rank simply waits on it, like the blocking
+        generator send it mirrors.
         """
         env = self.env
         shared = self._shared
-        wire = fast.wire()
+        replay = net_replay(self.world.machine.network)
         t = env.now
         for child in bcast_children(self.rank, root, self.size):
-            end = wire.send(self.rank, child, token.nbytes, t)
+            if t > env.now:
+                # Sequential blocking sends: advance to this send's
+                # start first, so the replay registers it at its true
+                # issue time (grant ordering and backplane sampling vs
+                # other traffic stay exact).
+                yield env.wake_at(t)
+            ends: list[float] = []
+            ev = self._fast_send_event(replay, token, child, tag,
+                                       token.nbytes, start=t,
+                                       collect=ends)
             shared.stats.sends += 1
             shared.stats.bytes_sent += token.nbytes
-            _deposit_at(env, shared.mailboxes[child],
-                        Envelope(source=self.rank, tag=tag,
-                                 payload=token, nbytes=token.nbytes),
-                        end)
-            t = end
+            if ends:
+                t = ends[0]
+            else:
+                yield ev
+                t = env.now
         if t > env.now:
             yield env.wake_at(t)
 
@@ -336,8 +404,7 @@ class Comm:
             fast = self._fastcoll()
             if fast is not None and isinstance(payload, Phantom):
                 yield from self._fast_bcast_forward(
-                    fast, FastBcastToken(payload, payload.nbytes),
-                    root, tag)
+                    FastBcastToken(payload, payload.nbytes), root, tag)
                 return payload
         # Receive phase: find the bit where we hang off the tree.
         mask = 1
@@ -349,9 +416,7 @@ class Comm:
             mask <<= 1
         if isinstance(payload, FastBcastToken):
             token = payload
-            fast = self._shared.fast_state()
-            assert fast is not None  # the root already qualified us
-            yield from self._fast_bcast_forward(fast, token, root, tag)
+            yield from self._fast_bcast_forward(token, root, tag)
             return token.value
         # Send phase: forward to our subtree.
         mask >>= 1
@@ -563,7 +628,8 @@ class World:
     def __init__(self, env: Environment, machine: Machine, *,
                  launch_overhead: float = 0.1,
                  spawn_overhead: float = 0.25,
-                 collective_fastpath: bool = True):
+                 collective_fastpath: bool = True,
+                 p2p_fastpath: Optional[bool] = None):
         self.env = env
         self.machine = machine
         #: Per-group startup cost at job launch (scheduler/job-startup path).
@@ -574,6 +640,23 @@ class World:
         #: repro.mpi.fastcoll); equivalence tests and the phantom
         #: micro-benchmark's "before" leg turn it off.
         self.collective_fastpath = collective_fastpath
+        self._p2p_fastpath = p2p_fastpath
+
+    @property
+    def p2p_fastpath(self) -> bool:
+        """Switch for the point-to-point fast path (repro.mpi.fastp2p).
+
+        Follows ``collective_fastpath`` (including post-construction
+        toggles) until set explicitly, so one flag still means "the
+        full event path, please".
+        """
+        if self._p2p_fastpath is None:
+            return self.collective_fastpath
+        return self._p2p_fastpath
+
+    @p2p_fastpath.setter
+    def p2p_fastpath(self, value: Optional[bool]) -> None:
+        self._p2p_fastpath = value
 
     def launch(self, main: Callable[..., Generator],
                processors: Sequence[int], args: tuple = (),

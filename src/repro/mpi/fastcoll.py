@@ -18,21 +18,24 @@ Equivalence contract
 The fast path must produce **identical simulated clocks, values and
 ``CommStats``/``NetworkStats`` counters** to the generator path it
 replaces (see ``docs/phantom.md`` and
-``tests/test_fastcoll_equivalence.py``).  To keep that promise it only
-engages when the replay is provably exact:
+``tests/test_fastcoll_equivalence.py``).  Live transfers are resolved by
+the shared network-level replay (:mod:`repro.mpi.fastp2p`), which models
+the full transfer cost chain — software overhead, per-NIC FIFO
+serialization with the endpoint contention penalty, wire time,
+propagation latency, the same-node shared-memory path, and exact
+backplane flow-sharing — and persists NIC availability across calls via
+``Nic.fp_free`` (``[tx_free, rx_free]``), so fast collectives, fast
+point-to-point traffic and each other's flows all see one consistent
+wire.  Communicators with shared nodes (``cpus_per_node > 1``) and
+machines with oversubscribable backplanes therefore ride the fast path
+too; only real payloads and traced networks fall back to the generator
+path (trace records are produced by real transfers).
 
-* every rank of the communicator lives on its own node and the machine
-  has one CPU per node (no NIC sharing between ranks or jobs);
-* the collective's worst-case concurrent flows cannot oversubscribe the
-  switch backplane (``size * bandwidth <= backplane_bandwidth``);
-* network tracing is off (trace records are produced by real transfers).
-
-Anything else — real payloads, shared nodes, a tight backplane — falls
-back to the generator path.  The replay models the full transfer cost
-chain (software overhead, per-NIC FIFO serialization with the endpoint
-contention penalty, wire time, propagation latency) and persists NIC
-availability across calls via ``Nic.fp_free`` (``[tx_free, rx_free]``),
-so back-to-back fast collectives see each other's engine occupancy.
+On exact-backplane networks a send's completion may not be computable at
+registration (a flow's wire time depends on what is on the wire when it
+starts); :class:`CollSim` therefore consumes completions through
+callbacks, which the replay fires inline whenever it is provably safe
+and defers through its pump otherwise.
 
 Two delivery mechanisms:
 
@@ -59,6 +62,7 @@ from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.mpi.datatypes import HEADER_BYTES, payload_nbytes
+from repro.mpi.fastp2p import net_replay
 from repro.simulate import Environment, Event
 
 
@@ -77,13 +81,16 @@ class FastBcastToken:
 # ---------------------------------------------------------------------------
 
 class Wire:
-    """Arithmetic mirror of ``Network.transfer`` between distinct nodes.
+    """Arithmetic mirror of ``Network.transfer`` on a detached, quiet
+    network (the closed-form cost tables).
 
     ``engines`` maps a node index to a mutable ``[tx_free, rx_free]``
-    pair.  The live fast path binds it to per-NIC state that persists
-    across calls; detached replays (closed-form tables) use a scratch
-    dict.  Callers must feed sends in nondecreasing start order — per-NIC
-    FIFO then matches the event kernel's grant order.
+    pair of scratch state — a hypothetical replay, never live traffic;
+    live sends go through the shared :class:`~repro.mpi.fastp2p.
+    NetReplay` instead.  Callers must feed sends in nondecreasing start
+    order — per-NIC FIFO then matches the event kernel's grant order.
+    Same-node sends take the shared-memory path, so shared-node grids
+    replay exactly too.
     """
 
     __slots__ = ("network", "nodes", "nics", "engines", "record_stats")
@@ -93,22 +100,26 @@ class Wire:
         self.network = network
         self.nodes = nodes                    # node index per comm rank
         self.nics = [network.nodes[n].nic for n in nodes]
-        self.engines = engines
+        self.engines = engines if engines is not None else {}
         self.record_stats = record_stats
-
-    def _engine(self, rank: int) -> list[float]:
-        if self.engines is None:
-            nic = self.nics[rank]
-            return nic.fp_free
-        return self.engines.setdefault(self.nodes[rank], [0.0, 0.0])
 
     def send(self, src: int, dst: int, payload_nb: int, start: float) -> float:
         """Completion (= mailbox deposit) time of one ``_send_raw``."""
         net = self.network
         nbytes = payload_nb + HEADER_BYTES
+        src_node = self.nodes[src]
+        dst_node = self.nodes[dst]
+        if src_node == dst_node:
+            end = start + (net.memory_latency +
+                           nbytes / net.nodes[src_node].memory_bandwidth)
+            if self.record_stats:
+                net.stats.messages += 1
+                net.stats.bytes += nbytes
+                net.stats.busy_time += end - start
+            return end
         t_arrive = start + net.software_overhead
-        src_eng = self._engine(src)
-        dst_eng = self._engine(dst)
+        src_eng = self.engines.setdefault(src_node, [0.0, 0.0])
+        dst_eng = self.engines.setdefault(dst_node, [0.0, 0.0])
         t_tx = max(t_arrive, src_eng[0])
         t_hold = max(t_tx, dst_eng[1])
         bw = min(self.nics[src].bandwidth, self.nics[dst].bandwidth)
@@ -126,6 +137,54 @@ class Wire:
             net.stats.bytes += nbytes
             net.stats.busy_time += end - start
         return end
+
+
+class DetachedSender:
+    """CollSim sender over a scratch :class:`Wire` (always synchronous)."""
+
+    __slots__ = ("wire",)
+
+    def __init__(self, wire: Wire):
+        self.wire = wire
+
+    def send(self, src: int, dst: int, payload_nb: int, start: float,
+             on_complete: Callable[[float], None]) -> None:
+        on_complete(self.wire.send(src, dst, payload_nb, start))
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        fn()
+
+
+class LiveSender:
+    """CollSim sender routing through the shared network replay.
+
+    Completions fire inline whenever the replay can prove the wire-start
+    sample safe (always, on non-oversubscribable backplanes) and are
+    deferred through the replay's pump otherwise.
+    """
+
+    __slots__ = ("replay", "nodes")
+
+    def __init__(self, replay, nodes: list[int]):
+        self.replay = replay
+        self.nodes = nodes
+
+    #: Live completions may always be deferred (the replay finalizes in
+    #: wire-start order): the collective must execute sends at their
+    #: start times, so same-instant sends from different completions
+    #: register in heap order — the order the kernel's causal chains
+    #: would produce.
+    paced = True
+
+    def send(self, src: int, dst: int, payload_nb: int, start: float,
+             on_complete: Callable[[float], None]) -> None:
+        self.replay.send_flow(self.nodes[src], self.nodes[dst],
+                              payload_nb, start, on_complete)
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        """Deliver progress once the replay's current sweep is done, so
+        all completions of one simulated instant arrive as one batch."""
+        self.replay.after_sweep(fn)
 
 
 def p2p_time(network, src_node: int, dst_node: int,
@@ -177,33 +236,53 @@ class CollSim:
     """Pure-arithmetic replay of one collective call.
 
     Ranks are fed via :meth:`arrive`; :meth:`drain` executes pending
-    sends whose start time is due and returns newly resolved
-    ``(rank, completion_time, value)`` triples.  No simulation objects
-    are touched — the caller decides how completions become events.
+    sends whose start time is due.  Wire times come from ``sender``
+    (detached scratch wire or the live network replay) through
+    callbacks; newly resolved ``(rank, completion_time, value)`` triples
+    accumulate until :meth:`take_resolved`.  When a callback fires
+    outside a drain (a deferred exact-backplane completion),
+    ``on_progress`` tells the owner to drain and deliver.  No simulation
+    objects are touched — the caller decides how completions become
+    events.
     """
 
-    def __init__(self, kind: str, size: int, wire: Wire, *,
+    def __init__(self, kind: str, size: int, sender, *,
                  root: int = 0, op: Optional[Callable] = None,
                  stats=None):
         self.kind = kind
         self.size = size
-        self.wire = wire
+        self.sender = sender
         self.root = root
         self.op = op
         self.stats = stats                  # CommStats to mirror, or None
+        self.on_progress: Optional[Callable[[], None]] = None
+        self._resolved: list = []
+        self._draining = False
+        #: Paced senders defer completions, so future-start sends must
+        #: wait for their start time (see LiveSender.paced); synchronous
+        #: senders let drain cascade everything once all ranks are in.
+        self.paced = bool(getattr(sender, "paced", False))
         self.arrived = [False] * size
         self.n_arrived = 0
         self.payloads: list[Any] = [None] * size
         self.t_cur = [0.0] * size
-        # Heap entries are (start, cause, seq, rank): ``cause`` is the
-        # replay index of the event that unblocked the send (arrival,
-        # deposit, or the rank's own previous send).  Equal-start sends
-        # contending for one NIC engine are then granted in the same
-        # order the event kernel's causal chains would produce.
-        self.heap: list[tuple[float, int, int, int]] = []
+        # Heap entries are (start, cause, seq, rank): ``cause`` is a
+        # ``(hop_class, exec, sub)`` key describing the event that
+        # unblocked the send.  Equal-start sends contending for one NIC
+        # engine are then granted in the same order the event kernel's
+        # causal chains would produce: at a tied instant the kernel
+        # schedules next-send software timeouts in hop order — first
+        # ranks resumed one event after a transfer end (a blocking
+        # send's own mailbox put, sub 0, then a receiver's mailbox get,
+        # sub 1, both in transfer-end order ``exec``), then ranks
+        # resumed two events after (an isend's process-completion event,
+        # hop class 1).  This matters once ranks share NICs
+        # (cpus_per_node > 1): different ranks' simultaneous sends then
+        # contend for one engine.
+        self.heap: list[tuple[float, tuple, int, int]] = []
         self._seq = 0
         self._exec = 0                       # monotone replay-event index
-        self.cause = [0] * size              # current unblocking event
+        self.cause: list[tuple] = [(0, 0, 1)] * size  # unblocking event
         self.dep: dict[tuple[int, int], deque] = {}
         self.resolved_count = 0
         # Pending-send descriptors (one outstanding send per rank).
@@ -241,7 +320,7 @@ class CollSim:
         if self.kind == "gather":
             # Root receives with ANY_SOURCE: mailbox order is deposit
             # order, which is execution order here (chronological).
-            self.pool.append((when, value, src))
+            self.pool.append((when, value, src, exec_idx))
         else:
             self.dep.setdefault((src, dst), deque()).append(
                 (when, value, exec_idx))
@@ -256,7 +335,7 @@ class CollSim:
             return None
         got = q.popleft()
         if got[0] > self.t_cur[rank]:
-            self.cause[rank] = got[2]
+            self.cause[rank] = (0, got[2], 1)
         return got
 
     def _start_send(self, rank: int, dst: int, value: Any,
@@ -279,35 +358,70 @@ class CollSim:
         self.payloads[rank] = payload
         self.t_cur[rank] = now
         self._exec += 1
-        self.cause[rank] = self._exec
-        self._resolved_batch: list = []
+        self.cause[rank] = (0, self._exec, 1)
         self._seed(rank)
-        return self.drain(now, batch=self._resolved_batch)
+        self.drain(now)
+        return self.take_resolved()
 
-    def drain(self, now: float, batch: Optional[list] = None) -> list:
+    def drain(self, now: float) -> None:
         """Execute due sends; with all ranks in, execute everything."""
-        resolved = batch if batch is not None else []
-        self._resolved_batch = resolved
-        force = self.n_arrived == self.size
-        while self.heap and (force or self.heap[0][0] <= now):
-            start, _cause, _seq, rank = heapq.heappop(self.heap)
-            dst = self.pend_dst[rank]
-            value = self.pend_value[rank]
-            nbytes = payload_nbytes(value)
-            end = self.wire.send(rank, dst, nbytes, start)
+        self._draining = True
+        try:
+            force = not self.paced and self.n_arrived == self.size
+            while self.heap and (force or self.heap[0][0] <= now):
+                start, _cause, _seq, rank = heapq.heappop(self.heap)
+                dst = self.pend_dst[rank]
+                value = self.pend_value[rank]
+                self.sender.send(rank, dst, payload_nbytes(value), start,
+                                 self._wire_done(rank, dst, value))
+        finally:
+            self._draining = False
+
+    def take_resolved(self) -> list:
+        """Newly resolved ``(rank, when, value)`` triples since last call."""
+        out = self._resolved
+        self._resolved = []
+        return out
+
+    def _wire_done(self, rank: int, dst: int,
+                   value: Any) -> Callable[[float], None]:
+        """Completion continuation of the send just handed to the sender.
+
+        One completion can unblock both endpoints at the same instant;
+        the kernel's resume order then depends on the send mode.  A
+        *blocking* sender resumes at its own mailbox-put fire, before
+        the receiver's get (scheduled right after the put) — sender
+        first.  An *isend* sender resumes only at its request process'
+        completion event, scheduled during the put fire — so the
+        receiver's get fires in between, receiver first.
+        """
+        isend_style = self.kind in ("barrier", "allgather", "alltoall")
+
+        def done(end: float) -> None:
             if self.stats is not None:
                 self.stats.sends += 1
-                self.stats.bytes_sent += nbytes
+                self.stats.bytes_sent += payload_nbytes(value)
             self._exec += 1
             self.send_exec[rank] = self._exec
             self.send_end[rank] = end
-            self._sent(rank, end)
-            self._deposit(rank, dst, end, value, self._exec)
-        return resolved
+            if isend_style:
+                self._deposit(rank, dst, end, value, self._exec)
+                self._sent(rank, end)
+            else:
+                self._sent(rank, end)
+                self._deposit(rank, dst, end, value, self._exec)
+            if not self._draining and self.on_progress is not None:
+                self.sender.defer(self.on_progress)
+        return done
 
     def _resolve(self, rank: int, when: float, value: Any) -> None:
+        # The cause key records what unblocked this rank — completions
+        # sharing one simulated instant must be delivered in the order
+        # the kernel's causal chains would resume the ranks (see the
+        # heap-entry comment above), or the ranks enter their *next*
+        # operation in a different order.
         self.resolved_count += 1
-        self._resolved_batch.append((rank, when, value))
+        self._resolved.append((rank, when, value, self.cause[rank]))
 
     # -- per-algorithm programs -------------------------------------------
     def _seed(self, rank: int) -> None:
@@ -352,14 +466,17 @@ class CollSim:
         """A rank's outstanding send completed at ``end``."""
         kind = self.kind
         if kind in ("reduce", "gather"):
-            # Blocking leaf/child send: the rank is done once it returns.
+            # Blocking leaf/child send: the rank is done once it returns
+            # (one hop — it resumes at its own mailbox put).
+            self.cause[rank] = (0, self.send_exec[rank], 0)
             self._resolve(rank, end, None)
         elif kind in ("barrier", "allgather", "alltoall"):
             self._advance(rank)
         elif kind == "bcast":
             # The next (sequential, blocking) send is unblocked by this
-            # one's completion.
-            self.cause[rank] = self.send_exec[rank]
+            # one's completion (one hop: the rank resumes at its own
+            # mailbox put and schedules the next transfer inline).
+            self.cause[rank] = (0, self.send_exec[rank], 0)
             self.t_cur[rank] = end
             self._bcast_forward(rank, end)
 
@@ -374,8 +491,11 @@ class CollSim:
             got = self._take(rank, src)
             if got is None:
                 return
-            if self.send_end[rank] > max(self.t_cur[rank], got[0]):
-                self.cause[rank] = self.send_exec[rank]
+            if self.send_end[rank] >= max(self.t_cur[rank], got[0]):
+                # isend completion: two hops (put fire, process event).
+                # >=: even when the deposit lands at the same instant,
+                # the rank still waits for its request's process event.
+                self.cause[rank] = (1, self.send_exec[rank], 0)
             nxt = max(self.send_end[rank], got[0])
             self.t_cur[rank] = nxt
             self.stage[rank] = k + 1
@@ -412,7 +532,9 @@ class CollSim:
             self._resolve(rank, self.t_cur[rank], self.result[rank])
         elif kind == "gather":
             while self.got < size - 1 and self.pool:
-                when, value, src = self.pool.popleft()
+                when, value, src, exec_idx = self.pool.popleft()
+                if when > self.t_cur[rank]:
+                    self.cause[rank] = (0, exec_idx, 1)
                 self.t_cur[rank] = max(self.t_cur[rank], when)
                 self.items[src] = value
                 self.got += 1
@@ -425,8 +547,11 @@ class CollSim:
             got = self._take(rank, (rank - 1) % size)
             if got is None:
                 return
-            if self.send_end[rank] > max(self.t_cur[rank], got[0]):
-                self.cause[rank] = self.send_exec[rank]
+            if self.send_end[rank] >= max(self.t_cur[rank], got[0]):
+                # isend completion: two hops (put fire, process event).
+                # >=: even when the deposit lands at the same instant,
+                # the rank still waits for its request's process event.
+                self.cause[rank] = (1, self.send_exec[rank], 0)
             items = self.lists[rank]
             items[(rank - s - 1) % size] = got[1]
             nxt = max(self.send_end[rank], got[0])
@@ -446,8 +571,11 @@ class CollSim:
             got = self._take(rank, source)
             if got is None:
                 return
-            if self.send_end[rank] > max(self.t_cur[rank], got[0]):
-                self.cause[rank] = self.send_exec[rank]
+            if self.send_end[rank] >= max(self.t_cur[rank], got[0]):
+                # isend completion: two hops (put fire, process event).
+                # >=: even when the deposit lands at the same instant,
+                # the rank still waits for its request's process event.
+                self.cause[rank] = (1, self.send_exec[rank], 0)
             self.lists[rank][source] = got[1]
             nxt = max(self.send_end[rank], got[0])
             self.t_cur[rank] = nxt
@@ -485,16 +613,36 @@ class CollSim:
 # ---------------------------------------------------------------------------
 
 class FastCollState:
-    """Per-communicator eligibility record for the fast path."""
+    """Per-communicator routing record for the fast path.
 
-    __slots__ = ("shared", "nodes")
+    The live fast path needs no machine-shape conditions (the shared
+    network replay handles NIC sharing and backplane flow-sharing
+    exactly), but the *detached* closed forms gate on:
 
-    def __init__(self, shared, nodes: list[int]):
+    * ``exclusive`` — every rank on its own single-CPU node, so no
+      other job's traffic can touch this communicator's NICs.  The
+      whole-call LU walk and ``Application.replay_iterations`` require
+      it: their soundness argument is that a phantom operation's
+      duration is a pure function of the configuration, which NIC
+      sharing with concurrently-communicating jobs would break.
+    * ``quiet`` — additionally, the communicator's worst-case
+      concurrent flows stay within the backplane (the strict PR 2
+      conditions); closed forms on non-quiet exclusive communicators
+      drop only cross-flow backplane coupling (see docs/phantom.md).
+    """
+
+    __slots__ = ("shared", "nodes", "exclusive", "quiet")
+
+    def __init__(self, shared, nodes: list[int], exclusive: bool,
+                 quiet: bool):
         self.shared = shared
         self.nodes = nodes
+        self.exclusive = exclusive
+        self.quiet = quiet
 
-    def wire(self) -> Wire:
-        return Wire(self.shared.world.machine.network, self.nodes)
+    def sender(self) -> LiveSender:
+        network = self.shared.world.machine.network
+        return LiveSender(net_replay(network), self.nodes)
 
     def live_call(self, kind: str, tag: int, *, root: int = 0,
                   op: Optional[Callable] = None) -> "LiveCall":
@@ -505,26 +653,25 @@ class FastCollState:
         return call
 
 
-def build_state(shared) -> Optional[FastCollState]:
-    """Structural eligibility of a communicator for the fast path.
+def build_state(shared) -> FastCollState:
+    """Structural routing record of a communicator for the fast path.
 
-    Returns ``None`` when the arithmetic replay could diverge from the
-    event kernel (shared nodes, oversubscribable backplane).  The
-    per-call dynamic conditions (flag, tracing, payload types) are
-    checked by the callers in :mod:`repro.mpi.comm`.
+    Always eligible: the shared network replay (repro.mpi.fastp2p)
+    reproduces shared-node NIC queueing, the same-node memory path and
+    backplane flow-sharing exactly, so no machine shape rules the fast
+    path out anymore.  The per-call dynamic conditions (flag, tracing,
+    payload types) are checked by the callers in :mod:`repro.mpi.comm`.
     """
     machine = shared.world.machine
     spec = getattr(machine, "spec", None)
-    if spec is None or spec.cpus_per_node != 1:
-        return None
     nodes = [machine.node_of(p) for p in shared.processors]
-    if len(set(nodes)) != len(nodes):
-        return None
     net = machine.network
     bw_max = max(machine.nodes[n].nic.bandwidth for n in nodes)
-    if len(nodes) * bw_max > net.backplane_bandwidth:
-        return None
-    return FastCollState(shared, nodes)
+    exclusive = (spec is not None and spec.cpus_per_node == 1
+                 and len(set(nodes)) == len(nodes))
+    quiet = (exclusive
+             and len(nodes) * bw_max <= net.backplane_bandwidth)
+    return FastCollState(shared, nodes, exclusive, quiet)
 
 
 class LiveCall:
@@ -543,8 +690,9 @@ class LiveCall:
         self.shared = shared
         self.tag = tag
         self.env: Environment = shared.world.env
-        self.sim = CollSim(kind, shared.size, state.wire(), root=root,
+        self.sim = CollSim(kind, shared.size, state.sender(), root=root,
                            op=op, stats=shared.stats)
+        self.sim.on_progress = self._on_progress
         self.events: dict[int, Event] = {}
         self._pump_at: Optional[float] = None
 
@@ -556,11 +704,20 @@ class LiveCall:
         self._finish_drain(now, resolved)
         return ev
 
+    def _on_progress(self) -> None:
+        """A deferred wire completion advanced the replay off-drain."""
+        now = self.env.now
+        self.sim.drain(now)
+        self._finish_drain(now, self.sim.take_resolved())
+
     def _finish_drain(self, now: float, resolved: list) -> None:
         if resolved:
+            # Same-instant completions fire in cause order — the order
+            # the event kernel's chains would resume the ranks.
+            resolved.sort(key=lambda r: (r[1], r[3]))
             self.env.schedule_many(
                 (self.events[rank], value, when)
-                for rank, when, value in resolved)
+                for rank, when, value, _cause in resolved)
         if self.sim.finished:
             self.shared._fast_calls.pop(self.tag, None)
             return
@@ -577,13 +734,42 @@ class LiveCall:
         if self.sim.finished:
             return
         now = self.env.now
-        resolved = self.sim.drain(now)
-        self._finish_drain(now, resolved)
+        self.sim.drain(now)
+        self._finish_drain(now, self.sim.take_resolved())
 
 
 # ---------------------------------------------------------------------------
 # Detached replay (closed-form cost tables)
 # ---------------------------------------------------------------------------
+
+def detached_call(network, nodes: list[int], kind: str,
+                  times: list[float], payloads: list, *,
+                  root: int = 0, op: Optional[Callable] = None,
+                  engines: Optional[dict] = None,
+                  stats=None) -> list[float]:
+    """Per-rank completion times of one collective replayed detachedly.
+
+    ``times[i]`` is member ``i``'s arrival; the returned list holds its
+    completion.  ``engines`` carries per-node NIC state across calls
+    (scratch when None); ``stats`` mirrors ``CommStats`` sends/bytes and
+    — through the wire — NIC and network counters, exactly as the live
+    fast path would book them.  The closed-form primitive behind the
+    whole-iteration LU walk.
+    """
+    wire = Wire(network, nodes, engines=engines,
+                record_stats=stats is not None)
+    sim = CollSim(kind, len(nodes), DetachedSender(wire), root=root,
+                  op=op, stats=stats)
+    resolved: list = []
+    for rank in sorted(range(len(nodes)), key=lambda r: times[r]):
+        resolved.extend(sim.arrive(rank, times[rank], payloads[rank]))
+    sim.drain(float("inf"))
+    resolved.extend(sim.take_resolved())
+    out = list(times)
+    for rank, when, _value, _cause in resolved:
+        out[rank] = when
+    return out
+
 
 def replay_chain(network, nodes: list[int],
                  steps: list[tuple], t0: float = 0.0) -> list[float]:
@@ -601,12 +787,14 @@ def replay_chain(network, nodes: list[int],
     from repro.mpi.ops import SUM
     for kind, root, payloads in steps:
         wire = Wire(network, nodes, engines=engines, record_stats=False)
-        sim = CollSim(kind, len(nodes), wire, root=root, op=SUM)
+        sim = CollSim(kind, len(nodes), DetachedSender(wire),
+                      root=root, op=SUM)
         resolved: list = []
         order = sorted(range(len(nodes)), key=lambda r: times[r])
         for rank in order:
             resolved.extend(sim.arrive(rank, times[rank], payloads[rank]))
-        resolved.extend(sim.drain(float("inf")))
-        for rank, when, _value in resolved:
+        sim.drain(float("inf"))
+        resolved.extend(sim.take_resolved())
+        for rank, when, _value, _cause in resolved:
             times[rank] = when
     return times

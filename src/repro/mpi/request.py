@@ -5,34 +5,48 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.mpi.errors import MPIError
-from repro.simulate import Environment, Process
+from repro.simulate import Environment, Event, Process
 
 
 class Request:
     """Handle to an in-flight nonblocking operation.
 
-    Wraps the simulation process performing the transfer.  ``wait`` is a
-    generator (``yield from req.wait()``); ``test`` polls.
+    Wraps either the simulation process performing the transfer or — on
+    the phantom point-to-point fast path, where no process is spawned —
+    the completion event itself.  ``wait`` is a generator
+    (``yield from req.wait()``); ``test`` polls.  ``transform`` maps the
+    completion value to the caller-visible result (the fast ``irecv``
+    completes with the matched envelope and returns its payload).
     """
 
-    def __init__(self, env: Environment, process: Process):
+    def __init__(self, env: Environment, op: Event,
+                 transform: Optional[Any] = None):
         self.env = env
-        self._process = process
+        self._op = op
+        self._transform = transform
 
     def wait(self) -> Generator:
         """Block until the operation completes; returns its value."""
-        value = yield self._process
+        value = yield self._op
+        if self._transform is not None:
+            value = self._transform(value)
         return value
 
     def test(self) -> tuple[bool, Optional[Any]]:
         """Non-blocking completion check: ``(done, value_or_None)``."""
-        if self._process.is_alive:
+        if not self.done:
             return False, None
-        return True, self._process.value
+        value = self._op.value
+        if self._transform is not None:
+            value = self._transform(value)
+        return True, value
 
     @property
     def done(self) -> bool:
-        return not self._process.is_alive
+        op = self._op
+        if isinstance(op, Process):
+            return not op.is_alive
+        return op.processed
 
 
 def wait_all(requests: list[Request]) -> Generator:

@@ -23,9 +23,18 @@ Data path
 Packing, unpacking and byte counting run on precomputed index tables
 (:mod:`repro.redist.tables`, :mod:`repro.darray.blockcyclic`): one numpy
 gather/scatter per aggregated message instead of one Python-level copy
-per block.  The original per-block loops are kept below as ``*_loop``
+per block.  Messages-to-self skip the wire format entirely (a fused
+src->dst scatter, :func:`repro.darray.copy_rect`); wire messages pack
+into pooled strip buffers that the unpack side recycles across steps
+and resize points, and the gather strategy is picked at runtime per
+layout.  The original per-block loops are kept below as ``*_loop``
 reference implementations; the equivalence tests and the
 ``benchmarks/test_perf_redist.py`` micro-benchmark compare against them.
+
+In phantom mode the messages themselves ride the point-to-point fast
+path (:mod:`repro.mpi.fastp2p`): a step's delivery is the cached
+per-rank plan walk plus pure clock arithmetic — no transfer processes,
+no NIC resource events.
 """
 
 from __future__ import annotations
@@ -36,7 +45,12 @@ from typing import Generator, Optional
 import numpy as np
 
 from repro.blacs.grid import ProcessGrid
-from repro.darray import Descriptor, DistributedMatrix
+from repro.darray import (
+    Descriptor,
+    DistributedMatrix,
+    copy_rect,
+    release_strips,
+)
 from repro.mpi import ANY_SOURCE, Phantom
 from repro.mpi.comm import Comm
 from repro.mpi.datatypes import SizedPayload
@@ -206,19 +220,23 @@ def redistribute(comm: Comm, source: DistributedMatrix,
             # Packing: one pass over the message payload through memory.
             yield comm.env.timeout(nbytes / memory_bandwidth)
             if dst_rank == me:
-                # Local copy: no wire traffic.
+                # Local copy: no wire traffic, and no wire format — a
+                # fused src->dst scatter with no strip temporaries.
                 if source.materialized:
                     assert target is not None
-                    target.unpack_rect(
-                        me, msg.row_blocks, msg.col_blocks,
-                        source.pack_rect(me, msg.row_blocks,
-                                         msg.col_blocks))
+                    copy_rect(source, me, target, me,
+                              msg.row_blocks, msg.col_blocks)
                 result.local_copies += 1
                 continue
             if source.materialized:
+                # Pooled strips: the receiver releases them after
+                # unpacking, so repeated steps and resize points reuse
+                # the same buffers instead of paying allocator
+                # page-fault churn.
                 payload: object = SizedPayload(
                     nbytes, (msg, source.pack_rect(me, msg.row_blocks,
-                                                   msg.col_blocks)))
+                                                   msg.col_blocks,
+                                                   pooled=True)))
             else:
                 payload = Phantom(nbytes, meta=("redist", msg.src, msg.dst))
             pending.append(comm.isend(payload, dest=dst_rank, tag=tag))
@@ -236,6 +254,7 @@ def redistribute(comm: Comm, source: DistributedMatrix,
                 msg, data = payload.data
                 target.unpack_rect(me, msg.row_blocks, msg.col_blocks,
                                    data)
+                release_strips(data)
             # Unpacking pass through memory on the receive side.
             yield comm.env.timeout(nbytes / memory_bandwidth)
         for req in pending:

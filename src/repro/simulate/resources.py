@@ -58,6 +58,20 @@ class Store:
     def put(self, item: Any) -> StorePut:
         return StorePut(self, item)
 
+    def deposit(self, item: Any) -> None:
+        """Insert ``item`` without a put event (phantom fast path).
+
+        Equivalent to an immediately accepted :meth:`put` whose event
+        nobody waits on — pending filtered gets are served exactly as a
+        put would serve them.  Only valid for unbounded stores (message
+        mailboxes); a bounded store must use :meth:`put` so the producer
+        can block.
+        """
+        if len(self.items) >= self.capacity:
+            raise SimulationError("deposit() into a full bounded store")
+        self.items.append(item)
+        self._trigger()
+
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         return StoreGet(self, filter)
 

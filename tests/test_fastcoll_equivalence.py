@@ -30,14 +30,18 @@ from repro.simulate import Environment
 import repro.mpi.comm as comm_module
 
 
-def run_both(main, nprocs, *, num_nodes=None):
+def run_both(main, nprocs, *, num_nodes=None, **spec_kwargs):
     """Run ``main`` SPMD with the fast path off and on; return both
-    observations as ``(end_times, values, comm_stats, net_stats)``."""
+    observations as ``(end_times, values, comm_stats, net_stats)``.
+
+    The off leg disables both fast paths (p2p follows the collective
+    switch), so it is the pristine event-kernel path.
+    """
     out = []
     for fast in (False, True):
         env = Environment()
         machine = Machine(env, MachineSpec(
-            num_nodes=num_nodes or max(nprocs, 2)))
+            num_nodes=num_nodes or max(nprocs, 2), **spec_kwargs))
         world = World(env, machine, launch_overhead=0.0,
                       collective_fastpath=fast)
         group = world.launch(main, processors=list(range(nprocs)))
@@ -200,33 +204,89 @@ def test_back_to_back_collectives_equivalence(nprocs, skew):
     assert_equivalent(*run_both(main, nprocs))
 
 
-def test_fastpath_declines_shared_nodes():
-    """Two ranks on one node (cpus_per_node=2) must use the slow path."""
+def test_fastpath_covers_shared_nodes():
+    """Ranks sharing nodes (cpus_per_node=2) ride the fast path now —
+    the shared network replay models rank-per-node NIC queueing and the
+    same-node memory path exactly — with identical clocks."""
     env = Environment()
     machine = Machine(env, MachineSpec(num_nodes=2, cpus_per_node=2))
     world = World(env, machine, launch_overhead=0.0)
 
-    def main(comm):
+    def probe(comm):
         yield from comm.barrier()
 
-    group = world.launch(main, processors=[0, 1, 2, 3])
-    assert group.view(0)._fastcoll() is None
+    group = world.launch(probe, processors=[0, 1, 2, 3])
+    assert group.view(0)._fastcoll() is not None
     env.run()
 
+    def main(comm):
+        yield from comm.barrier()
+        r = yield from comm.allreduce(Phantom(4096), SUM)
+        r2 = yield from comm.bcast(
+            Phantom(65536) if comm.rank == 0 else None, root=0)
+        yield from comm.allgather(Phantom(128 * (comm.rank + 1)))
+        return (comm.env.now, r.nbytes, r2.nbytes)
 
-def test_fastpath_declines_tight_backplane():
-    """size * bandwidth above the backplane rules the fast path out."""
+    assert_equivalent(*run_both(main, 4, num_nodes=2, cpus_per_node=2))
+
+
+@settings(deadline=None, max_examples=15)
+@given(nprocs=st.integers(2, 8), skew=skews)
+def test_fastpath_covers_shared_nodes_property(nprocs, skew):
+    def main(comm):
+        yield comm.env.timeout(skew[comm.rank])
+        yield from comm.barrier()
+        r = yield from comm.allreduce(Phantom(10_000), SUM)
+        yield from comm.barrier()
+        return (comm.env.now, r.nbytes)
+
+    assert_equivalent(*run_both(main, nprocs,
+                                num_nodes=max(2, (nprocs + 1) // 2),
+                                cpus_per_node=2))
+
+
+def test_fastpath_covers_tight_backplane():
+    """size * bandwidth above the backplane no longer declines the fast
+    path: the replay samples backplane flow-sharing exactly."""
     env = Environment()
     machine = Machine(env, MachineSpec(num_nodes=8,
                                        backplane_bandwidth=100e6))
     world = World(env, machine, launch_overhead=0.0)
 
-    def main(comm):
+    def probe(comm):
         yield from comm.barrier()
 
-    group = world.launch(main, processors=list(range(8)))
-    assert group.view(0)._fastcoll() is None
+    group = world.launch(probe, processors=list(range(8)))
+    assert group.view(0)._fastcoll() is not None
     env.run()
+
+    def main(comm):
+        yield from comm.barrier()
+        # The ring allgather keeps `size` concurrent flows on the wire —
+        # far above the 100 MB/s backplane — so every wire time pays the
+        # oversubscription multiplier the event kernel samples.
+        items = yield from comm.allgather(Phantom(50_000))
+        r = yield from comm.allreduce(Phantom(12_345), SUM)
+        yield from comm.barrier()
+        return (comm.env.now, [p.nbytes for p in items], r.nbytes)
+
+    assert_equivalent(*run_both(main, 8, num_nodes=8,
+                                backplane_bandwidth=100e6))
+
+
+@settings(deadline=None, max_examples=15)
+@given(nprocs=st.integers(2, 10), skew=skews,
+       nbytes=st.integers(1, 2_000_000))
+def test_fastpath_tight_backplane_property(nprocs, skew, nbytes):
+    def main(comm):
+        yield comm.env.timeout(skew[comm.rank])
+        yield from comm.barrier()
+        items = yield from comm.allgather(Phantom(nbytes))
+        yield from comm.barrier()
+        return (comm.env.now, len(items))
+
+    assert_equivalent(*run_both(main, nprocs, num_nodes=nprocs,
+                                backplane_bandwidth=150e6))
 
 
 def test_fastpath_respects_world_switch():
@@ -292,7 +352,6 @@ def test_lu_iteration_replay_is_constant_per_config():
 
 
 @pytest.mark.parametrize("app_cls,config,n,block", [
-    (MatMulApplication, (2, 2), 192, 24),
     (JacobiApplication, (4, 1), 200, 25),
     (FFT2DApplication, (4, 1), 64, 4),
 ])
@@ -300,3 +359,22 @@ def test_app_phantom_fast_path_exact(app_cls, config, n, block):
     slow = _iteration_times(app_cls, config, n, block, False)
     fast = _iteration_times(app_cls, config, n, block, True)
     assert fast == slow
+
+
+@pytest.mark.parametrize("config,n,block", [
+    ((2, 2), 192, 24),
+    ((2, 3), 192, 24),
+])
+def test_matmul_iteration_replay_matches_reference(config, n, block):
+    """SUMMA rides the generalized measure-once replay: the first two
+    iterations are measured live (and must be bit-exact against the
+    event path); replayed iterations agree to float cancellation of the
+    absolute clocks (well under the 1e-9 drift budget)."""
+    slow = _iteration_times(MatMulApplication, config, n, block, False,
+                            iterations=5)
+    fast = _iteration_times(MatMulApplication, config, n, block, True,
+                            iterations=5)
+    assert fast[:2] == slow[:2]
+    assert fast == pytest.approx(slow, rel=1e-12)
+    # And the replay really is constant per configuration.
+    assert fast[2] == fast[3] == fast[4]
