@@ -1,0 +1,259 @@
+"""Micro-benchmark: calendar-queue event kernel + scheduler scale-out.
+
+Three sections, written to ``BENCH_engine.json``:
+
+**raw kernel** — the event-queue kernels driven directly (no Event
+machinery, GC paused): a *hold* model (steady population, pop one /
+push one — the classic calendar-queue stress) and an *arrival-storm
+drain* (bulk load then full drain — what a 10k-job submission does to
+the kernel), both at populations where the heap's O(log n) comparisons
+dominate.  Acceptance: the calendar queue moves >= 2x the events/sec
+of the seed heap kernel.
+
+**kernel end to end** — the same hold model through ``Environment``
+(``wake_at`` + callbacks), showing how much of the queue win survives
+the fixed per-event cost of Event objects and callback dispatch.
+
+**scheduler** — the 10k-job synthetic workload end to end.  The new
+stack (calendar kernel + size-indexed queue + reservation ledger +
+closed-form job booking) must schedule 10k jobs in less host time than
+the seed stack (heap kernel + O(n) scan queue + launched rank
+processes) needs for 2k.  A same-settings ablation leg (heap + scan,
+closed-form booking) isolates the wake-path win and doubles as a
+10k-job cross-implementation determinism check: both stacks must
+produce bit-identical timelines.
+
+``BENCH_SMOKE=1`` shrinks every population for CI and skips the
+absolute assertions; the smoke JSON feeds the CI regression gate
+(``scripts/check_bench.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import random
+import time
+
+from repro.core import ReshapeFramework
+from repro.metrics import format_table
+from repro.simulate import Environment, make_event_queue
+from repro.workloads.generator import WorkloadGenerator
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+_ROOT = pathlib.Path(__file__).parents[1]
+JSON_PATH = (_ROOT / "benchmarks" / "results" / "BENCH_engine_smoke.json"
+             if SMOKE else _ROOT / "BENCH_engine.json")
+
+
+# ---------------------------------------------------------------------------
+# Raw queue kernels
+# ---------------------------------------------------------------------------
+
+def time_hold(kernel: str, pending: int, ops: int) -> float:
+    """Hold model: steady population, pop-one/push-one.  ns/event."""
+    queue = make_event_queue(kernel)
+    rng = random.Random(0)
+    now = 0.0
+    seq = 0
+    for _ in range(pending):
+        seq += 1
+        queue.push(now + rng.random() * 100.0, 1, seq, None)
+    t0 = time.perf_counter()
+    for _ in range(ops):
+        now = queue.pop()[0]
+        seq += 1
+        queue.push(now + rng.random() * 100.0, 1, seq, None)
+    return (time.perf_counter() - t0) / ops * 1e9
+
+
+def time_drain(kernel: str, count: int) -> float:
+    """Arrival storm: bulk-push ``count`` entries, drain them.  ns/event
+    over the full push+drain cycle."""
+    queue = make_event_queue(kernel)
+    rng = random.Random(1)
+    t0 = time.perf_counter()
+    for seq in range(count):
+        queue.push(rng.random() * 1e5, 1, seq, None)
+    for _ in range(count):
+        queue.pop()
+    return (time.perf_counter() - t0) / count * 1e9
+
+
+def time_env_hold(kernel: str, pending: int, extra: int) -> float:
+    """The hold model through Environment/Event/callbacks.  ns/event."""
+    env = Environment(kernel=kernel)
+    rng = random.Random(2)
+    budget = [extra]
+
+    def reschedule(_event):
+        if budget[0] > 0:
+            budget[0] -= 1
+            nxt = env.wake_at(env.now + rng.random() * 100.0)
+            nxt.callbacks.append(reschedule)
+
+    for _ in range(pending):
+        event = env.wake_at(rng.random() * 100.0)
+        event.callbacks.append(reschedule)
+    t0 = time.perf_counter()
+    env.run()
+    return (time.perf_counter() - t0) / (pending + extra) * 1e9
+
+
+# ---------------------------------------------------------------------------
+# Scheduler end to end
+# ---------------------------------------------------------------------------
+
+def run_schedule(count: int, *, kernel: str, scheduler: str,
+                 direct: bool):
+    """One full synthetic workload through the framework.  Returns
+    ``(host seconds, timeline, simulated end, ledger stats)``."""
+    gen = WorkloadGenerator(seed=11, max_initial=16)
+    specs = gen.generate_scale(count)
+    t0 = time.perf_counter()
+    fw = ReshapeFramework(env=Environment(kernel=kernel),
+                          num_processors=36, dynamic=True,
+                          scheduler=scheduler, direct_execution=direct)
+    jobs = gen.submit_all(fw, specs, iterations=1)
+    fw.run()
+    host = time.perf_counter() - t0
+    assert all(job.turnaround is not None for job in jobs.values())
+    timeline = [(ch.time, ch.job_name, ch.reason)
+                for ch in fw.timeline.changes]
+    stats = {"wakes_taken": fw.ledger.wakes_taken,
+             "wakes_skipped": fw.ledger.wakes_skipped}
+    return host, timeline, fw.env.now, stats
+
+
+def test_perf_engine(report):
+    # -- raw kernel -------------------------------------------------------
+    hold_pending = 50_000 if SMOKE else 1_000_000
+    hold_ops = 50_000 if SMOKE else 400_000
+    drain_count = 100_000 if SMOKE else 1_500_000
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        hold_heap = time_hold("heap", hold_pending, hold_ops)
+        hold_cal = time_hold("calendar", hold_pending, hold_ops)
+        drain_heap = time_drain("heap", drain_count)
+        drain_cal = time_drain("calendar", drain_count)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    raw_heap_ns = (hold_heap * hold_ops + drain_heap * drain_count) / \
+        (hold_ops + drain_count)
+    raw_cal_ns = (hold_cal * hold_ops + drain_cal * drain_count) / \
+        (hold_ops + drain_count)
+    raw_speedup = raw_heap_ns / max(raw_cal_ns, 1e-12)
+
+    # -- kernel through the Environment ----------------------------------
+    env_pending = 20_000 if SMOKE else 300_000
+    env_extra = 20_000 if SMOKE else 300_000
+    env_heap = time_env_hold("heap", env_pending, env_extra)
+    env_cal = time_env_hold("calendar", env_pending, env_extra)
+
+    # -- scheduler --------------------------------------------------------
+    # Smoke legs are sub-100ms one-shots on shared CI runners, where a
+    # single scheduler blip can swamp the measurement — the regression
+    # gate tracks speedup_vs_seed, so take the best of 3 there.  Full
+    # legs run seconds and once.
+    big = 1_000 if SMOKE else 10_000
+    seed_jobs = 200 if SMOKE else 2_000
+    repeats = 3 if SMOKE else 1
+    runs = [run_schedule(big, kernel="calendar", scheduler="indexed",
+                         direct=True) for _ in range(repeats)]
+    t_new, tl_new, clock_new, stats = min(runs, key=lambda r: r[0])
+    runs = [run_schedule(big, kernel="heap", scheduler="scan",
+                         direct=True) for _ in range(repeats)]
+    t_ablate, tl_ablate, clock_ablate, _ = min(runs, key=lambda r: r[0])
+    t_seed = min(run_schedule(seed_jobs, kernel="heap", scheduler="scan",
+                              direct=False)[0] for _ in range(repeats))
+
+    results = {
+        "smoke": SMOKE,
+        "raw_kernel": {
+            "hold": {"pending": hold_pending, "ops": hold_ops,
+                     "heap_ns_per_event": hold_heap,
+                     "calendar_ns_per_event": hold_cal,
+                     "speedup": hold_heap / max(hold_cal, 1e-12)},
+            "drain": {"count": drain_count,
+                      "heap_ns_per_event": drain_heap,
+                      "calendar_ns_per_event": drain_cal,
+                      "speedup": drain_heap / max(drain_cal, 1e-12)},
+            "heap_ns_per_event": raw_heap_ns,
+            "calendar_ns_per_event": raw_cal_ns,
+            "heap_events_per_sec": 1e9 / raw_heap_ns,
+            "calendar_events_per_sec": 1e9 / raw_cal_ns,
+            "speedup": raw_speedup,
+        },
+        "kernel_end_to_end": {
+            "pending": env_pending, "extra": env_extra,
+            "heap_ns_per_event": env_heap,
+            "calendar_ns_per_event": env_cal,
+            "speedup": env_heap / max(env_cal, 1e-12),
+        },
+        "scheduler": {
+            "jobs": big,
+            "seed_jobs": seed_jobs,
+            "new_stack_host_s": t_new,
+            "ablation_heap_scan_host_s": t_ablate,
+            "seed_stack_host_s": t_seed,
+            "speedup_vs_seed": t_seed / max(t_new, 1e-12),
+            "wake_path_speedup": t_ablate / max(t_new, 1e-12),
+            "simulated_end_s": clock_new,
+            "timelines_identical": tl_new == tl_ablate,
+            **stats,
+        },
+        "speedup": raw_speedup,
+        "speedup_definition": (
+            "raw event-queue kernel events/sec, calendar vs seed heap, "
+            "blended over the hold model and the arrival-storm drain at "
+            "the stated populations; scheduler.speedup_vs_seed compares "
+            "the full new stack scheduling {big} synthetic jobs against "
+            "the seed stack (heap kernel + scan queue + launched rank "
+            "processes) scheduling {seed} jobs"
+        ).format(big=big, seed=seed_jobs),
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = [
+        ["raw hold", f"{hold_heap:.0f} ns", f"{hold_cal:.0f} ns",
+         f"{hold_heap / hold_cal:.2f}x"],
+        ["raw drain", f"{drain_heap:.0f} ns", f"{drain_cal:.0f} ns",
+         f"{drain_heap / drain_cal:.2f}x"],
+        ["raw blended", f"{raw_heap_ns:.0f} ns", f"{raw_cal_ns:.0f} ns",
+         f"{raw_speedup:.2f}x"],
+        ["env hold", f"{env_heap:.0f} ns", f"{env_cal:.0f} ns",
+         f"{env_heap / env_cal:.2f}x"],
+        [f"schedule {big} jobs", f"{t_ablate:.2f} s (heap+scan)",
+         f"{t_new:.2f} s", f"{t_ablate / t_new:.1f}x"],
+        [f"seed stack {seed_jobs} jobs", f"{t_seed:.2f} s", "-", "-"],
+    ]
+    report(format_table(
+        ["stage", "heap/seed", "calendar/new", "speedup"], rows,
+        title=f"Calendar kernel + scheduler scale-out "
+              f"({'smoke' if SMOKE else 'full'})"))
+    report(f"raw kernel: {results['raw_kernel']['calendar_events_per_sec']:,.0f} "
+           f"events/s calendar vs "
+           f"{results['raw_kernel']['heap_events_per_sec']:,.0f} heap")
+    report(f"scheduler: {big} jobs in {t_new:.2f}s on the new stack; "
+           f"seed stack needed {t_seed:.2f}s for {seed_jobs} jobs; "
+           f"wakes {stats['wakes_taken']} taken / "
+           f"{stats['wakes_skipped']} filtered")
+    report(f"10k-timeline determinism across stacks: "
+           f"{results['scheduler']['timelines_identical']}")
+    report.flush("BENCH_engine_smoke" if SMOKE else "BENCH_engine")
+
+    # Decision equivalence is a hard invariant at any scale.
+    assert results["scheduler"]["timelines_identical"], results
+    assert clock_new == clock_ablate
+    if not SMOKE:
+        # Acceptance: >= 2x raw kernel events/sec over the heap, and the
+        # 10k-job workload schedules in under the seed stack's 2k time.
+        assert raw_speedup >= 2.0, results
+        assert t_new < t_seed, results
+        # The Environment layer must keep a measurable share of the win.
+        assert results["kernel_end_to_end"]["speedup"] > 1.05, results

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Compares freshly produced smoke benchmark JSONs against the committed
+baselines in ``benchmarks/baselines/`` and exits non-zero when any
+tracked metric regresses by more than the tolerance (default 25%).
+
+Tracked metrics are *same-host ratios* (the ``speedup`` of an optimized
+leg over its reference leg, both measured in the same process seconds
+apart), not absolute seconds: a ratio transfers across runner
+generations and load levels, while an absolute-time baseline recorded
+on one host fails forever on a slower one.  A fast-path regression
+still shows up — slowing the optimized leg drops its speedup exactly
+the way it raises its host time.
+
+Usage (CI runs exactly this after the smoke benchmarks)::
+
+    python scripts/check_bench.py
+    python scripts/check_bench.py --results benchmarks/results \
+        --baselines benchmarks/baselines --tolerance 0.25
+
+Verified locally by injecting a slowdown into a fast-path leg and
+watching the gate fail (see docs/engine.md §CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: file -> list of (dotted metric path, direction).  ``higher`` means
+#: the metric is a speedup (regression = falling below baseline);
+#: ``lower`` would gate a raw time (regression = rising above).
+TRACKED: dict[str, list[tuple[str, str]]] = {
+    "BENCH_engine_smoke.json": [
+        ("raw_kernel.speedup", "higher"),
+        ("raw_kernel.hold.speedup", "higher"),
+        ("scheduler.speedup_vs_seed", "higher"),
+    ],
+    "BENCH_redist_smoke.json": [
+        ("bookkeeping.speedup", "higher"),
+        ("schedule_build.speedup", "higher"),
+    ],
+    "BENCH_phantom_smoke.json": [
+        ("speedup", "higher"),
+        ("redist_delivery.speedup", "higher"),
+    ],
+}
+
+
+def lookup(data: dict, path: str):
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_file(name: str, metrics, results_dir: pathlib.Path,
+               baselines_dir: pathlib.Path, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    baseline_path = baselines_dir / name
+    result_path = results_dir / name
+    if not baseline_path.exists():
+        print(f"  {name}: no baseline committed — skipped")
+        return failures
+    if not result_path.exists():
+        failures.append(f"{name}: benchmark result missing "
+                        f"(expected {result_path})")
+        return failures
+    baseline = json.loads(baseline_path.read_text())
+    result = json.loads(result_path.read_text())
+    for path, direction in metrics:
+        base = lookup(baseline, path)
+        cand = lookup(result, path)
+        if base is None:
+            print(f"  {name}:{path}: not in baseline — skipped")
+            continue
+        if cand is None:
+            failures.append(f"{name}:{path}: missing from results")
+            continue
+        if direction == "higher":
+            floor = base * (1.0 - tolerance)
+            ok = cand >= floor
+            verdict = (f"{cand:.3f} vs baseline {base:.3f} "
+                       f"(floor {floor:.3f})")
+        else:
+            ceiling = base * (1.0 + tolerance)
+            ok = cand <= ceiling
+            verdict = (f"{cand:.3f} vs baseline {base:.3f} "
+                       f"(ceiling {ceiling:.3f})")
+        marker = "ok  " if ok else "FAIL"
+        print(f"  {marker} {name}:{path}: {verdict}")
+        if not ok:
+            failures.append(f"{name}:{path}: {verdict}")
+    return failures
+
+
+def main(argv=None) -> int:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", type=pathlib.Path,
+                        default=root / "benchmarks" / "results")
+    parser.add_argument("--baselines", type=pathlib.Path,
+                        default=root / "benchmarks" / "baselines")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    print(f"benchmark regression gate: tolerance {args.tolerance:.0%}")
+    failures: list[str] = []
+    for name, metrics in TRACKED.items():
+        failures.extend(check_file(name, metrics, args.results,
+                                   args.baselines, args.tolerance))
+    if failures:
+        print(f"\n{len(failures)} tracked metric(s) regressed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

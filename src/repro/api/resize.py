@@ -260,9 +260,14 @@ def resizable_main(comm: Comm, framework, job) -> Generator:
     """
     assert job.config is not None
     try:
-        blacs = yield from BlacsContext.create(comm, *job.config)
-        assert blacs is not None
-        ctx = AppContext(blacs.comm, blacs, job.data, framework.machine)
+        if job.app.needs_blacs:
+            blacs = yield from BlacsContext.create(comm, *job.config)
+            assert blacs is not None
+            ctx = AppContext(blacs.comm, blacs, job.data,
+                             framework.machine)
+        else:
+            # Pure-compute apps skip the context-setup collectives.
+            ctx = AppContext(comm, None, job.data, framework.machine)
         rctx = ResizeContext(framework, job, ctx,
                              iteration=job.iterations_done)
         yield from _iteration_loop(rctx)

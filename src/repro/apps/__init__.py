@@ -26,6 +26,7 @@ from repro.apps.jacobi import JacobiApplication
 from repro.apps.lu import LUApplication
 from repro.apps.masterworker import MasterWorkerApplication
 from repro.apps.matmul import MatMulApplication
+from repro.apps.synthetic import SyntheticApplication
 
 __all__ = [
     "AppContext",
@@ -35,6 +36,7 @@ __all__ = [
     "LUApplication",
     "MasterWorkerApplication",
     "MatMulApplication",
+    "SyntheticApplication",
 ]
 
 

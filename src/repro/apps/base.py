@@ -103,6 +103,14 @@ class Application(abc.ABC):
     #: "grid" for nearly-square 2-D topologies (LU, MM); "flat" for 1-D.
     topology: str = "grid"
 
+    #: Whether the runtime must build a BLACS context for this
+    #: application's ranks.  Dense-matrix kernels need one; pure
+    #: compute/self-scheduling apps can skip the (simulated) context
+    #: setup collectives.  Only new applications opt out — flipping an
+    #: existing app would change its startup cost and with it every
+    #: recorded timeline.
+    needs_blacs: bool = True
+
     def __init__(self, problem_size: int, *, block: int = 0,
                  iterations: int = 10, materialized: bool = False,
                  allowed_configs: Optional[list[tuple[int, int]]] = None,
@@ -215,6 +223,23 @@ class Application(abc.ABC):
     def flops_per_iteration(self) -> float:
         """Total flops of one outer iteration (for documentation/models)."""
         return 0.0
+
+    def closed_form_duration(self, config: tuple[int, int],
+                             machine: Machine) -> Optional[float]:
+        """Whole-run duration on ``config``, when it is a closed form.
+
+        Applications whose execution involves no communication (e.g.
+        :class:`~repro.apps.synthetic.SyntheticApplication`) can report
+        their runtime here; the framework then books the job as a
+        single completion event instead of launching rank processes —
+        the scheduler-scale analogue of the phantom fast paths.  The
+        framework only takes this path when no resize decision could
+        alter the job's allocation (a single-iteration job, or static
+        scheduling); a multi-iteration job under dynamic scheduling
+        executes its ranks so its resize points stay live.  ``None``
+        (the default) means "must be executed".
+        """
+        return None
 
     def verify(self, data: dict[str, DistributedMatrix]) -> bool:
         """Numeric check after a run (materialized mode); default: trivial."""

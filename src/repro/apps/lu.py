@@ -612,11 +612,9 @@ def _apply_row_swaps(ctx: AppContext, work: DistributedMatrix,
     blacs = ctx.blacs
     assert blacs is not None
     desc = work.desc
-    me = blacs.comm.rank
     mat = work.materialized
     pc = desc.grid.pc
-    pr = desc.grid.pr
-    myrow, mycol = blacs.myrow, blacs.mycol
+    mycol = blacs.mycol
     ln = numroc(desc.n, desc.nb, mycol, 0, pc)
     # Local column positions of the panel on its owning grid column.
     pcol_k = (j0 // desc.nb) % pc

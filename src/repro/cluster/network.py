@@ -15,7 +15,7 @@ receiver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.cluster.node import Node
 from repro.simulate import Environment

@@ -15,7 +15,7 @@ evenly divides the problem size."*
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def factor_nearly_square(p: int) -> tuple[int, int]:

@@ -20,9 +20,9 @@ from repro.core.policies import (
     SweetSpotPolicy,
     ThresholdSweetSpot,
 )
-from repro.core.pool import ProcessorPool
+from repro.core.pool import ProcessorPool, ReservationLedger
 from repro.core.profiler import PerformanceProfiler
-from repro.core.queue import JobQueue
+from repro.core.queue import JobQueue, ScanJobQueue, make_job_queue
 from repro.core.remap import RemapDecision, RemapScheduler
 
 __all__ = [
@@ -36,8 +36,11 @@ __all__ = [
     "ProcessorPool",
     "RemapDecision",
     "RemapScheduler",
+    "ReservationLedger",
     "ReshapeFramework",
+    "ScanJobQueue",
     "SweetSpotPolicy",
     "ThresholdSweetSpot",
     "TimelineRecorder",
+    "make_job_queue",
 ]

@@ -23,9 +23,9 @@ from repro.core.events import TimelineRecorder
 from repro.core.job import Job, JobState
 from repro.core.monitor import SystemMonitor
 from repro.core.policies import ExpansionPolicy, SweetSpotPolicy
-from repro.core.pool import ProcessorPool
+from repro.core.pool import ProcessorPool, ReservationLedger
 from repro.core.profiler import PerformanceProfiler
-from repro.core.queue import JobQueue
+from repro.core.queue import make_job_queue
 from repro.core.remap import RemapDecision, RemapScheduler
 from repro.mpi import World
 from repro.simulate import Environment, Event
@@ -41,6 +41,8 @@ class ReshapeFramework:
                  num_processors: Optional[int] = None,
                  dynamic: bool = True,
                  backfill: bool = True,
+                 scheduler: str = "indexed",
+                 direct_execution: bool = True,
                  sweet_spot: Optional[SweetSpotPolicy] = None,
                  expansion: Optional[ExpansionPolicy] = None,
                  redistribution_method: str = "reshape",
@@ -51,12 +53,17 @@ class ReshapeFramework:
         if total > self.machine.total_processors:
             raise ValueError("num_processors exceeds the machine")
         self.pool = ProcessorPool(total)
-        self.queue = JobQueue(backfill=backfill)
+        #: ``"indexed"`` (size-indexed queue + reservation ledger) or
+        #: ``"scan"`` (the seed's O(n)-per-wake scan) — decisions are
+        #: identical, only the wake cost differs.
+        self.queue = make_job_queue(scheduler, backfill=backfill)
+        self.ledger = ReservationLedger(self.pool)
         self.profiler = PerformanceProfiler()
         self.remap = RemapScheduler(self.pool, self.queue, self.profiler,
                                     max_procs=total, dynamic=dynamic,
                                     sweet_spot=sweet_spot,
-                                    expansion=expansion)
+                                    expansion=expansion,
+                                    ledger=self.ledger)
         self.monitor = SystemMonitor(self.pool,
                                      on_resources_freed=self._wake)
         self.world = World(self.env, self.machine)
@@ -66,6 +73,12 @@ class ReshapeFramework:
             raise ValueError(f"unknown redistribution method "
                              f"{redistribution_method!r}")
         self.redistribution_method = redistribution_method
+        #: Book jobs that report a closed-form runtime as one completion
+        #: event instead of launching rank processes (the scheduler-scale
+        #: analogue of the phantom fast paths; only applications with no
+        #: communication and no resize points qualify — see
+        #: ``Application.closed_form_duration``).
+        self.direct_execution = direct_execution
         #: Cost of one application <-> scheduler message exchange.
         self.rpc_latency = rpc_latency
         self.jobs: list[Job] = []
@@ -99,8 +112,22 @@ class ReshapeFramework:
         self._wake()
 
     def _wake(self) -> None:
-        if self._wake_event is not None and not self._wake_event.triggered:
-            self._wake_event.succeed()
+        """Wake the application scheduler — unless nothing can start.
+
+        The reservation ledger makes the filter exact: a wake is useful
+        only if some queued job fits the free processors (with simple
+        backfill, that is ``min queued size <= free``).  Anything else
+        would probe the queue and find nothing, so it is skipped; every
+        state change that could flip the answer (arrival, release,
+        shrink) comes back through here.
+        """
+        if self._wake_event is None or self._wake_event.triggered:
+            return
+        if not self.queue.can_start(self.pool.free_count):
+            self.ledger.wakes_skipped += 1
+            return
+        self.ledger.wakes_taken += 1
+        self._wake_event.succeed()
 
     def _application_scheduler(self):
         """FCFS/backfill scheduling loop (its own 'thread', as in §3.1)."""
@@ -111,6 +138,9 @@ class ReshapeFramework:
                 if job is None:
                     break
                 self._start_job(job)
+            # Record the blocked head's claim on the idle processors (0
+            # when the queue is empty or drained).
+            self.ledger.refresh(self.queue, self.pool.free_count)
             yield self._wake_event
 
     def _start_job(self, job: Job) -> None:
@@ -128,9 +158,28 @@ class ReshapeFramework:
         self.monitor.job_started(job)
         self.timeline.record(self.env.now, job.job_id, job.name,
                              job.requested_size, job.config, "start")
+        # Closed-form booking must never bypass a live resize decision:
+        # a multi-iteration job under dynamic scheduling hits resize
+        # points that can change its allocation, so only jobs that
+        # cannot be resized (single iteration, or static scheduling
+        # where every decision is "no change") qualify.
+        if self.direct_execution and \
+                (job.app.iterations <= 1 or not self.dynamic):
+            duration = job.app.closed_form_duration(job.initial_config,
+                                                    self.machine)
+            if duration is not None:
+                done = self.env.wake_at(self.env.now + duration)
+                done.callbacks.append(
+                    lambda _ev, job=job: self._complete_direct(job))
+                return
         from repro.api.resize import resizable_main
         self.world.launch(resizable_main, processors=processors,
                           args=(self, job), name=job.name)
+
+    def _complete_direct(self, job: Job) -> None:
+        """Completion of a closed-form job (no rank processes ran)."""
+        job.iterations_done = job.app.iterations
+        self.job_complete(job)
 
     # ------------------------------------------------------------------
     # Callbacks from the resizing library (rank 0 of each job)

@@ -90,11 +90,20 @@ class ExpansionPolicy:
     the currently idle processors — which, for Table 2 style config
     lists, is exactly "add processors to the smallest row or column"
     growth for nearly-square grids.
+
+    ``idle`` is the processor count genuinely available for growth:
+    the scheduler passes free processors *net of the reservation
+    ledger's head claim* (see
+    :class:`repro.core.pool.ReservationLedger`).  ``reserved`` reports
+    that excluded claim so a policy can reason about it; with the
+    paper's rules it is always 0 when an expansion is considered (the
+    queue must be empty), and the base policies only use ``idle``.
     """
 
     def choose(self, configs: Sequence[tuple[int, int]],
                current: tuple[int, int],
-               idle: int) -> Optional[tuple[int, int]]:
+               idle: int, *, reserved: int = 0
+               ) -> Optional[tuple[int, int]]:
         return next_larger_config(configs, current, idle)
 
     @property
@@ -107,7 +116,8 @@ class GreedyExpansionPolicy(ExpansionPolicy):
 
     def choose(self, configs: Sequence[tuple[int, int]],
                current: tuple[int, int],
-               idle: int) -> Optional[tuple[int, int]]:
+               idle: int, *, reserved: int = 0
+               ) -> Optional[tuple[int, int]]:
         cur = current[0] * current[1]
         best: Optional[tuple[int, int]] = None
         for cfg in configs:

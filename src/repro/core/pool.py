@@ -1,4 +1,5 @@
-"""The machine's processor pool as the scheduler sees it."""
+"""The machine's processor pool as the scheduler sees it, and the
+reservation ledger the wake path keeps over it."""
 
 from __future__ import annotations
 
@@ -64,3 +65,63 @@ class ProcessorPool:
         held = self.processors_of(job_id)
         self.release(held, job_id)
         return held
+
+
+class ReservationLedger:
+    """Reservation-style bookkeeping for the scheduler's wake path.
+
+    When the queue head cannot start, the ledger records its claim on
+    the idle processors: how many of the free processors the head will
+    take (``reserved``) and how many more must come free before it can
+    start (``shortfall``).  Two consumers:
+
+    * The framework's wake filter — a resource release or arrival that
+      cannot possibly start anything (fewer free processors than the
+      smallest queued request, and short of the head's claim) skips the
+      scheduler pass entirely instead of probing the queue.
+    * The expansion path — processors under the head's claim are not
+      "idle" for expansion purposes (:meth:`available_for_expansion`).
+      This never changes a decision — the paper only expands when the
+      queue is empty, and an empty queue holds no reservation — but it
+      keeps the invariant explicit instead of coincidental.
+
+    The ledger is bookkeeping only: every decision still comes from the
+    queue and pool state, so scan and indexed schedulers stay
+    bit-identical (``tests/test_scheduler_indexed.py``).
+    """
+
+    def __init__(self, pool: ProcessorPool):
+        self.pool = pool
+        #: job_id of the blocked queue head, or None.
+        self.holder: Optional[int] = None
+        #: Free processors the blocked head has claimed.
+        self.reserved = 0
+        #: Additional processors the head needs before it can start.
+        self.shortfall = 0
+        #: Wake-filter statistics (reported by the engine benchmark).
+        self.wakes_taken = 0
+        self.wakes_skipped = 0
+
+    def refresh(self, queue, free: int) -> int:
+        """Re-derive the head's claim from current state; returns the
+        shortfall (0 when the head fits or the queue is empty)."""
+        head = queue.head()
+        if head is None:
+            self.clear()
+            return 0
+        need = head.requested_size
+        self.holder = head.job_id
+        self.reserved = min(free, need)
+        self.shortfall = max(0, need - free)
+        return self.shortfall
+
+    def clear(self) -> None:
+        self.holder = None
+        self.reserved = 0
+        self.shortfall = 0
+
+    def available_for_expansion(self, free: int) -> int:
+        """Idle processors not spoken for by the blocked head's claim."""
+        if self.holder is None:
+            return free
+        return max(0, free - self.reserved)

@@ -24,9 +24,8 @@ from typing import Optional
 
 from repro.core.job import Job
 from repro.core.policies import ExpansionPolicy, SweetSpotPolicy
-from repro.core.pool import ProcessorPool
+from repro.core.pool import ProcessorPool, ReservationLedger
 from repro.core.profiler import PerformanceProfiler
-from repro.core.queue import JobQueue
 
 
 @dataclass
@@ -46,12 +45,13 @@ class RemapDecision:
 class RemapScheduler:
     """Evaluates resize requests against pool, queue and profiler state."""
 
-    def __init__(self, pool: ProcessorPool, queue: JobQueue,
+    def __init__(self, pool: ProcessorPool, queue,
                  profiler: PerformanceProfiler, *,
                  max_procs: Optional[int] = None,
                  dynamic: bool = True,
                  sweet_spot: Optional[SweetSpotPolicy] = None,
-                 expansion: Optional[ExpansionPolicy] = None):
+                 expansion: Optional[ExpansionPolicy] = None,
+                 ledger: Optional[ReservationLedger] = None):
         self.pool = pool
         self.queue = queue
         self.profiler = profiler
@@ -59,6 +59,7 @@ class RemapScheduler:
         self.dynamic = dynamic
         self.sweet_spot = sweet_spot or SweetSpotPolicy()
         self.expansion = expansion or ExpansionPolicy()
+        self.ledger = ledger or ReservationLedger(pool)
         self.decisions: list[tuple[float, int, RemapDecision]] = []
 
     def decide(self, job: Job, iteration_time: float,
@@ -77,6 +78,9 @@ class RemapScheduler:
             return RemapDecision(action="none")
         current = job.config
         assert current is not None
+        # Bring the reservation ledger up to date with the queue head's
+        # claim before judging idle capacity.
+        self.ledger.refresh(self.queue, self.pool.free_count)
 
         # -- shrink rule 1: last expansion did not pay ------------------
         if self.sweet_spot.expansion_regretted(self.profiler, job.job_id,
@@ -90,12 +94,16 @@ class RemapScheduler:
             return self._shrink_for_queue(job, current)
 
         # -- expansion ---------------------------------------------------
-        if self.pool.free_count > 0 and self.queue.empty and \
+        # Idle processors net of the ledger's head reservation (always
+        # equal to free_count here: the queue is empty, so no head holds
+        # a claim — the ledger keeps that invariant explicit).
+        idle = self.ledger.available_for_expansion(self.pool.free_count)
+        if idle > 0 and self.queue.empty and \
                 self.sweet_spot.expansion_worthwhile(self.profiler,
                                                      job.job_id, current):
             configs = job.app.legal_configs(self.max_procs)
-            target = self.expansion.choose(configs, current,
-                                           self.pool.free_count)
+            target = self.expansion.choose(configs, current, idle,
+                                           reserved=self.ledger.reserved)
             if target is not None:
                 added = self.pool.allocate(_size(target) - _size(current),
                                            job.job_id)
@@ -105,7 +113,10 @@ class RemapScheduler:
 
     def _shrink_for_queue(self, job: Job,
                           current: tuple[int, int]) -> RemapDecision:
-        needed = self.queue.needed_for_head(self.pool.free_count)
+        # refresh() re-derives the head's claim from current queue/pool
+        # state and returns the shortfall (== needed_for_head) — no
+        # reliance on an earlier refresh having run.
+        needed = self.ledger.refresh(self.queue, self.pool.free_count)
         if needed <= 0:
             # Head already fits; let the application scheduler start it.
             return RemapDecision(action="none")

@@ -61,7 +61,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from repro.mpi.datatypes import HEADER_BYTES
 from repro.simulate import Event

@@ -16,6 +16,11 @@ queue break on a monotone sequence number, so identical inputs always give
 identical trajectories.
 """
 
+from repro.simulate.calendar import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+)
 from repro.simulate.engine import (
     AggregateEvent,
     AllOf,
@@ -33,12 +38,15 @@ __all__ = [
     "AggregateEvent",
     "AllOf",
     "AnyOf",
+    "CalendarEventQueue",
     "Environment",
     "Event",
+    "HeapEventQueue",
     "Interrupt",
     "Process",
     "Resource",
     "SimulationError",
     "Store",
     "Timeout",
+    "make_event_queue",
 ]

@@ -1,15 +1,25 @@
 """Core discrete-event kernel: environment, events, processes.
 
-The design follows the classic event-queue pattern: a heap of
+The design follows the classic event-queue pattern: a queue of
 ``(time, priority, seq, event)`` entries; popping an entry *fires* the
 event, which runs its callbacks; process callbacks advance a generator
 until it yields the next event to wait on.
+
+The queue itself lives behind the small interface in
+:mod:`repro.simulate.calendar`: a slotted calendar queue by default
+(O(1) amortized at large event populations), with the seed binary heap
+available as ``Environment(kernel="heap")`` for ablation.  All
+scheduling — ``schedule``, ``schedule_at``, ``wake_at``,
+``schedule_many`` — goes through :meth:`Environment.schedule_entry`, the
+single point that issues the monotone tie counter; nothing else may
+touch the queue, or tie ordering (and with it determinism) breaks.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.simulate.calendar import make_event_queue
 
 #: Priority classes for simultaneous events.  URGENT fires before NORMAL at
 #: the same timestamp; used by the kernel for interrupts.
@@ -331,9 +341,14 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation world: clock + event queue + process factory."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, *,
+                 kernel: str = "calendar"):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        try:
+            self._queue = make_event_queue(kernel)
+        except ValueError as err:
+            raise SimulationError(str(err)) from None
+        self.kernel = kernel
         self._seq = 0
         self._active_proc: Optional[Process] = None
 
@@ -347,17 +362,29 @@ class Environment:
         return self._active_proc
 
     # -- scheduling ---------------------------------------------------------
+    def schedule_entry(self, event: Event, when: float,
+                       priority: int) -> None:
+        """The one queue entry point: issue a tie number, enqueue.
+
+        Every scheduling path must come through here (``schedule``,
+        ``schedule_at``, ``wake_at``, ``schedule_many`` all do) so the
+        monotone ``seq`` counter covers the whole queue — an entry
+        pushed around it could tie-break nondeterministically.
+        """
+        if when != when:  # NaN would silently corrupt the queue order
+            raise SimulationError("event time is NaN")
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        self._queue.push(when, priority, self._seq, event)
+
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
         """Enqueue ``event`` to fire at ``now + delay``."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        if event._scheduled:
-            raise SimulationError(f"{event!r} scheduled twice")
-        event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority,
-                                     self._seq, event))
+        self.schedule_entry(event, self._now + delay, priority)
 
     def schedule_at(self, event: Event, when: float,
                     priority: int = NORMAL) -> None:
@@ -370,11 +397,7 @@ class Environment:
         if when < self._now:
             raise SimulationError(f"schedule_at({when}) is in the past "
                                   f"(now {self._now})")
-        if event._scheduled:
-            raise SimulationError(f"{event!r} scheduled twice")
-        event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (when, priority, self._seq, event))
+        self.schedule_entry(event, when, priority)
 
     def wake_at(self, when: float, value: Any = None) -> Event:
         """An event that fires at the absolute time ``when``."""
@@ -426,8 +449,8 @@ class Environment:
         """Fire the next event in the queue."""
         if not self._queue:
             raise SimulationError("step() on an empty queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - heap guarantees order
+        when, _prio, _seq, event = self._queue.pop()
+        if when < self._now:  # pragma: no cover - queue guarantees order
             raise SimulationError("time went backwards")
         self._now = when
         callbacks = event.callbacks
@@ -439,7 +462,7 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_when()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -461,8 +484,21 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise SimulationError(f"until={deadline} is in the past")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # Hot loop: one pop_due call per event (a fused peek + pop), the
+        # firing inlined from step() to keep per-event overhead down.
+        pop_due = self._queue.pop_due
+        while True:
+            entry = pop_due(deadline)
+            if entry is None:
+                break
+            when, _prio, _seq, event = entry
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            assert callbacks is not None
+            for cb in callbacks:
+                cb(event)
         if deadline != float("inf"):
             self._now = deadline
         return None

@@ -9,11 +9,11 @@ utilization/throughput sweeps are reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cluster.topology import config_size
-from repro.workloads.paper import JobSpec, make_application
+from repro.workloads.paper import JobSpec
 
 #: (kind, problem sizes, starting configs) the generator samples from.
 _CATALOG: list[tuple[str, list[int], list[tuple[int, int]]]] = [
@@ -65,6 +65,42 @@ class WorkloadGenerator:
                                  initial_config=config, arrival=clock,
                                  label=f"{kind}-{i}"))
             clock += rng.expovariate(1.0 / self.mean_interarrival)
+        return specs
+
+    def generate_scale(self, count: int, *,
+                       max_size: Optional[int] = None,
+                       mean_serial_ms: float = 2000.0,
+                       burst: float = 0.05) -> list[JobSpec]:
+        """A ``count``-job synthetic mix for scheduler scale studies.
+
+        Every job is a :class:`~repro.apps.synthetic.SyntheticApplication`
+        (a handful of simulation events each), so 10k+ of them stress
+        the scheduler wake path and the event kernel instead of the MPI
+        layer.  Sizes draw uniformly from ``1..max_size`` processors
+        (default: the generator's ``max_initial``), serial work draws
+        exponentially around ``mean_serial_ms`` milliseconds, and
+        arrivals are a near-burst Poisson stream (``burst`` seconds
+        mean spacing) — the machine saturates early, so most of the
+        population is *queued* most of the time, which is exactly the
+        regime the size-indexed queue and calendar kernel exist for.
+
+        Deterministic in ``seed``: two calls build identical specs, and
+        two runs of the resulting workload must produce identical
+        timelines (guarded by ``tests/test_scheduler_indexed.py``).
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        rng = random.Random(self.seed ^ 0x5CA1E)
+        top = max(1, max_size if max_size is not None else self.max_initial)
+        specs: list[JobSpec] = []
+        clock = 0.0
+        for i in range(count):
+            size = rng.randint(1, top)
+            serial_ms = max(1, int(rng.expovariate(1.0 / mean_serial_ms)))
+            specs.append(JobSpec(kind="synthetic", problem_size=serial_ms,
+                                 initial_config=(1, size), arrival=clock,
+                                 label=f"syn-{i}"))
+            clock += rng.expovariate(1.0 / burst)
         return specs
 
     def submit_all(self, framework, specs: Sequence[JobSpec], *,

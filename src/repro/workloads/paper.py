@@ -9,7 +9,7 @@ see EXPERIMENTS.md for the calibration table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.apps import (
@@ -19,6 +19,7 @@ from repro.apps import (
     LUApplication,
     MasterWorkerApplication,
     MatMulApplication,
+    SyntheticApplication,
 )
 
 #: Table 1 — workload application descriptions.
@@ -113,6 +114,10 @@ def make_application(kind: str, problem_size: int, *,
             allowed_configs=[(1, 2)] + _table2_configs(
                 "Master-worker", 20000))
         return app
+    if kind == "synthetic":
+        # Scheduler scale studies: ``problem_size`` is milli-seconds of
+        # serial work per iteration (see apps/synthetic.py).
+        return SyntheticApplication(problem_size, iterations=iterations)
     raise ValueError(f"unknown application kind {kind!r}")
 
 

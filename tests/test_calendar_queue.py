@@ -1,0 +1,193 @@
+"""Calendar-queue kernel: exact heap equivalence and determinism.
+
+The event kernel's determinism contract: entries are totally ordered by
+``(time, priority, seq)`` with ``seq`` unique, so the calendar queue
+must pop in *bit-identical* order to the reference heap — including
+same-timestamp ties, zero-delay cascades, and across its internal mode
+transitions (heap <-> calendar spill/collapse and bucket-width
+resizes).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate import (
+    CalendarEventQueue,
+    Environment,
+    HeapEventQueue,
+    SimulationError,
+    make_event_queue,
+)
+
+
+def drive_both(ops):
+    """Apply a push/pop script to both queues; assert identical pops."""
+    heap, cal = HeapEventQueue(), CalendarEventQueue()
+    seq = 0
+    now = 0.0
+    pops = []
+    for op, value in ops:
+        if op == "push" or not len(heap):
+            seq += 1
+            when = now + value[0]
+            heap.push(when, value[1], seq, seq)
+            cal.push(when, value[1], seq, seq)
+        else:
+            a = heap.pop()
+            b = cal.pop()
+            assert a == b
+            now = a[0]
+            pops.append(a)
+    while len(heap):
+        a = heap.pop()
+        b = cal.pop()
+        assert a == b
+        pops.append(a)
+    assert not len(cal)
+    return pops
+
+
+# Delays deliberately include exact ties (0.0, 1.0) so same-timestamp
+# ordering is exercised, plus wide spreads that force bucket resizes.
+_DELAY = st.sampled_from([0.0, 0.0, 1.0, 1.0, 0.125, 3.5, 1e-9, 1e4])
+_PRIO = st.sampled_from([0, 1, 1, 1])
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "pop"]),
+                          st.tuples(_DELAY, _PRIO)),
+                min_size=1, max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_property_identical_pop_order(ops):
+    pops = drive_both(ops)
+    # Simulated time never goes backwards (full keys need not be
+    # globally sorted: an URGENT push at the current timestamp legally
+    # sorts before an already-popped NORMAL entry of the same time).
+    times = [p[0] for p in pops]
+    assert times == sorted(times)
+
+
+def test_identical_order_across_spill_and_collapse():
+    """A population large enough to spill into calendar mode and drain
+    back through the collapse threshold pops identically."""
+    rng = random.Random(3)
+    heap, cal = HeapEventQueue(), CalendarEventQueue()
+    seq = 0
+    for _ in range(3 * CalendarEventQueue._SPILL):
+        seq += 1
+        when = rng.choice([rng.random() * 1000, 5.0, 5.0, 0.25])
+        prio = rng.choice([0, 1])
+        heap.push(when, prio, seq, seq)
+        cal.push(when, prio, seq, seq)
+    assert cal._calendar, "population above _SPILL must be in calendar mode"
+    now = 0.0
+    while len(heap):
+        a = heap.pop()
+        b = cal.pop()
+        assert a == b
+        assert a[0] >= now
+        now = a[0]
+        # Hold-model refill for the first half keeps the resize logic
+        # and the current-bucket cache busy mid-drain.
+        if len(heap) > 2 * CalendarEventQueue._SPILL and rng.random() < 0.4:
+            seq += 1
+            when = now + rng.choice([0.0, rng.random() * 100])
+            heap.push(when, 1, seq, seq)
+            cal.push(when, 1, seq, seq)
+    assert not cal._calendar, "drained queue must collapse back to heap"
+
+
+def test_pop_due_matches_peek_and_pop():
+    rng = random.Random(5)
+    for kernel in ("heap", "calendar"):
+        q = make_event_queue(kernel)
+        for seq in range(5000):
+            q.push(rng.random() * 100, 1, seq, seq)
+        deadline = 50.0
+        drained = []
+        while True:
+            expected = q.peek_when()
+            entry = q.pop_due(deadline)
+            if entry is None:
+                assert expected > deadline
+                break
+            assert entry[0] == expected <= deadline
+            drained.append(entry)
+        assert drained == sorted(drained)
+        assert len(drained) + len(q) == 5000
+        # The remainder pops in order and is entirely past the deadline.
+        rest = [q.pop() for _ in range(len(q))]
+        assert rest == sorted(rest)
+        assert all(entry[0] > deadline for entry in rest)
+
+
+def test_infinite_times_pop_last_in_seq_order():
+    q = CalendarEventQueue()
+    inf = float("inf")
+    # Force calendar mode so the _INF slot path is the one exercised.
+    for seq in range(CalendarEventQueue._SPILL + 10):
+        q.push(float(seq % 97), 1, seq, ("finite", seq))
+    base = CalendarEventQueue._SPILL + 10
+    q.push(inf, 1, base + 1, ("inf", 1))
+    q.push(inf, 0, base + 2, ("inf", 2))
+    order = [q.pop() for _ in range(len(q))]
+    assert order == sorted(order)
+    assert [e[3] for e in order[-2:]] == [("inf", 2), ("inf", 1)]
+
+
+def test_environment_trajectories_identical_across_kernels():
+    """Full-kernel check: cascading processes, ties, interrupts."""
+
+    def trajectory(kernel):
+        env = Environment(kernel=kernel)
+        log = []
+
+        def worker(tag, delay):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+            if tag % 3 == 0:
+                env.process(worker(tag + 1000, 0.0))  # zero-delay cascade
+            yield env.timeout(delay * 0.5)
+            log.append((env.now, -tag))
+
+        for tag in range(50):
+            env.process(worker(tag, float(tag % 7)))
+        env.run()
+        return log, env.now
+
+    heap_log, heap_now = trajectory("heap")
+    cal_log, cal_now = trajectory("calendar")
+    assert heap_log == cal_log
+    assert heap_now == cal_now
+
+
+def test_environment_rejects_nan_and_unknown_kernel():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.wake_at(float("nan"))
+    with pytest.raises(SimulationError):
+        Environment(kernel="fibonacci")
+
+
+def test_calendar_resize_keeps_order_under_scale_shift():
+    """Time scale shifts by 6 orders of magnitude mid-run: the width
+    self-resizes (occupancy band) and order still holds."""
+    q = CalendarEventQueue()
+    heap = HeapEventQueue()
+    seq = 0
+    for _ in range(6000):        # microsecond-scale era
+        seq += 1
+        when = seq * 1e-6
+        q.push(when, 1, seq, seq)
+        heap.push(when, 1, seq, seq)
+    for _ in range(6000):        # hour-scale era
+        seq += 1
+        when = 1.0 + (seq % 613) * 3600.0
+        q.push(when, 1, seq, seq)
+        heap.push(when, 1, seq, seq)
+    out = [q.pop() for _ in range(len(q))]
+    ref = [heap.pop() for _ in range(len(heap))]
+    assert out == ref
+    assert q.resizes >= 1

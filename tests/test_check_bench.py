@@ -1,0 +1,87 @@
+"""The CI benchmark-regression gate: passes clean, fails on slowdown."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "scripts"))
+import check_bench  # noqa: E402
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    return results, baselines
+
+
+def write(directory, name, payload):
+    (directory / name).write_text(json.dumps(payload))
+
+
+def engine_payload(raw_speedup=2.3, hold_speedup=2.7, sched_speedup=5.0):
+    return {"raw_kernel": {"speedup": raw_speedup,
+                           "hold": {"speedup": hold_speedup}},
+            "scheduler": {"speedup_vs_seed": sched_speedup}}
+
+
+def run_gate(results, baselines, tolerance=0.25):
+    return check_bench.main(["--results", str(results),
+                             "--baselines", str(baselines),
+                             "--tolerance", str(tolerance)])
+
+
+def test_gate_passes_within_tolerance(dirs, capsys):
+    results, baselines = dirs
+    write(baselines, "BENCH_engine_smoke.json", engine_payload())
+    write(results, "BENCH_engine_smoke.json",
+          engine_payload(raw_speedup=2.0))  # -13%: inside 25%
+    assert run_gate(results, baselines) == 0
+    assert "all tracked metrics within tolerance" in capsys.readouterr().out
+
+
+def test_gate_fails_on_regression(dirs, capsys):
+    results, baselines = dirs
+    write(baselines, "BENCH_engine_smoke.json", engine_payload())
+    write(results, "BENCH_engine_smoke.json",
+          engine_payload(raw_speedup=1.0))  # -57%: an injected slowdown
+    assert run_gate(results, baselines) == 1
+    out = capsys.readouterr().out
+    assert "raw_kernel.speedup" in out
+    assert "FAIL" in out
+
+
+def test_gate_fails_on_missing_result_file(dirs):
+    results, baselines = dirs
+    write(baselines, "BENCH_engine_smoke.json", engine_payload())
+    assert run_gate(results, baselines) == 1
+
+
+def test_gate_skips_files_without_baseline(dirs):
+    results, baselines = dirs
+    write(results, "BENCH_engine_smoke.json", engine_payload())
+    # No baselines committed at all: nothing to compare, gate is green.
+    assert run_gate(results, baselines) == 0
+
+
+def test_gate_fails_on_metric_missing_from_results(dirs):
+    results, baselines = dirs
+    write(baselines, "BENCH_engine_smoke.json", engine_payload())
+    write(results, "BENCH_engine_smoke.json", {"raw_kernel": {}})
+    assert run_gate(results, baselines) == 1
+
+
+def test_tracked_metrics_exist_in_committed_baselines():
+    """Every tracked metric must resolve in the committed baselines —
+    a renamed JSON field would otherwise silently weaken the gate."""
+    root = pathlib.Path(__file__).parents[1]
+    baselines = root / "benchmarks" / "baselines"
+    for name, metrics in check_bench.TRACKED.items():
+        data = json.loads((baselines / name).read_text())
+        for path, _direction in metrics:
+            assert check_bench.lookup(data, path) is not None, \
+                f"{name}:{path} missing from committed baseline"

@@ -1,8 +1,6 @@
 """Focused tests of the checkpoint/restart comparator's data path."""
 
 import numpy as np
-import pytest
-
 from repro.blacs import ProcessGrid
 from repro.cluster import Machine, MachineSpec
 from repro.darray import Descriptor, DistributedMatrix

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import (
     Machine,
     MachineSpec,
-    Network,
     Node,
     system_x,
 )

@@ -15,7 +15,7 @@ they get a tight band instead of equality.
 """
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.api import run_static
 from repro.apps import (

@@ -5,8 +5,6 @@ the apps that adopted it (LU, MM) is pinned in
 ``tests/test_fastcoll_equivalence.py``.
 """
 
-import pytest
-
 from repro.api import run_static
 from repro.apps import MatMulApplication
 from repro.apps.base import AppContext, Application

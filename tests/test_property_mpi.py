@@ -1,7 +1,6 @@
 """Property-based tests of the MPI layer's semantic invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Machine, MachineSpec

@@ -6,7 +6,6 @@ resizes, processors are conserved, and utilization is well-defined.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps import MatMulApplication

@@ -1,18 +1,22 @@
 """Scheduler scale guard: thousands of queued jobs.
 
 The paper's workloads have 4-5 jobs; the workload generator can produce
-thousands.  ``JobQueue.next_startable`` is an O(queue) scan per
-scheduler wake (simple backfill, no reservations) — these tests pin
-its correctness at that scale and guard the wake cost so a future
-accidental O(n^2) (e.g. copying the queue per probe) shows up as a
-regression.  ROADMAP keeps the O(n) scan as a known open item.
+tens of thousands.  Both queue implementations are pinned here:
+:class:`ScanJobQueue` (the seed's O(queue) scan per wake) for decision
+correctness at 2000 jobs, and the size-indexed :class:`JobQueue` whose
+probes are bounded by the distinct request sizes present — the cost
+guard asserts its probes stay flat while the population grows 10x.
 """
 
 import time
 
+import pytest
+
 from repro.core.job import Job
-from repro.core.queue import JobQueue
+from repro.core.queue import JobQueue, ScanJobQueue
 from repro.workloads.generator import WorkloadGenerator
+
+QUEUES = [JobQueue, ScanJobQueue]
 
 
 def make_jobs(count):
@@ -34,8 +38,9 @@ def test_generator_produces_enqueueable_mix():
     assert all(1 <= job.requested_size <= 16 for job in jobs)
 
 
-def test_backfill_correct_at_two_thousand_jobs():
-    queue = JobQueue(backfill=True)
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_backfill_correct_at_two_thousand_jobs(queue_cls):
+    queue = queue_cls(backfill=True)
     jobs = make_jobs(2000)
     for job in jobs:
         queue.enqueue(job)
@@ -62,27 +67,33 @@ def test_backfill_correct_at_two_thousand_jobs():
     assert started == 2000
 
 
-def test_wake_scan_cost_stays_linear():
-    """2000 queued jobs, repeated worst-case probes (nothing fits).
-
-    The bound is deliberately loose for shared CI hosts — it exists to
-    catch accidental quadratic behaviour (each probe copying the queue,
-    re-sorting, etc.), which overshoots it by an order of magnitude.
+def test_wake_probe_cost_stays_flat_at_ten_thousand_jobs():
+    """The size-indexed queue's probe cost must not grow with the
+    population: 10x the jobs, comparable probe time (the scan queue
+    grows linearly — that is why it was replaced).  Loose absolute
+    bound for shared CI hosts; the ratio is the real guard.
     """
-    queue = JobQueue(backfill=True)
-    for job in make_jobs(2000):
-        queue.enqueue(job)
-    probes = 200
-    t0 = time.perf_counter()
-    for _ in range(probes):
-        assert queue.next_startable(0) is None
-    elapsed = time.perf_counter() - t0
-    assert elapsed < 2.0, (f"{probes} worst-case backfill probes over "
-                           f"2000 jobs took {elapsed:.2f}s")
+    def probe_cost(count):
+        queue = JobQueue(backfill=True)
+        for job in make_jobs(count):
+            queue.enqueue(job)
+        probes = 2000
+        t0 = time.perf_counter()
+        for _ in range(probes):
+            assert queue.next_startable(0) is None
+        return (time.perf_counter() - t0) / probes
+
+    small = probe_cost(1000)
+    large = probe_cost(10_000)
+    assert large < small * 8 + 1e-4, (
+        f"indexed probe grew with population: {small*1e6:.1f}us -> "
+        f"{large*1e6:.1f}us")
+    assert large < 1e-3
 
 
-def test_enqueue_keeps_priority_then_fcfs_order_at_scale():
-    queue = JobQueue(backfill=True)
+@pytest.mark.parametrize("queue_cls", QUEUES)
+def test_enqueue_keeps_priority_then_fcfs_order_at_scale(queue_cls):
+    queue = queue_cls(backfill=True)
     jobs = make_jobs(300)
     for i, job in enumerate(jobs):
         job.priority = i % 3

@@ -1,8 +1,6 @@
 """Focused tests of the shrink mechanics (§3.1's second rule set)."""
 
 import numpy as np
-import pytest
-
 from repro.apps import LUApplication, MasterWorkerApplication
 from repro.cluster import MachineSpec
 from repro.core import JobState, ReshapeFramework
@@ -83,7 +81,7 @@ def test_shrink_to_starting_set_when_cannot_free_enough():
     # falls back to its starting configuration.
     blocked = LUApplication(960, block=96, iterations=1)
     j1 = fw.submit(first, config=(1, 2), arrival=0.0)
-    j2 = fw.submit(blocked, config=(3, 4), arrival=0.2)
+    fw.submit(blocked, config=(3, 4), arrival=0.2)
     fw.run(until=200.0)
     shrinks = [c for c in fw.timeline.changes
                if c.reason == "shrink" and c.job_id == j1.job_id]

@@ -4,9 +4,7 @@ import pytest
 
 from repro.simulate import (
     AllOf,
-    AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
     Timeout,
