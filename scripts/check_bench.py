@@ -37,6 +37,7 @@ TRACKED: dict[str, list[tuple[str, str]]] = {
     "BENCH_engine_smoke.json": [
         ("raw_kernel.speedup", "higher"),
         ("raw_kernel.hold.speedup", "higher"),
+        ("packed_dispatch.speedup", "higher"),
         ("scheduler.speedup_vs_seed", "higher"),
     ],
     "BENCH_redist_smoke.json": [

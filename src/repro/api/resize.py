@@ -102,10 +102,10 @@ class ResizeContext:
         decision: Optional[RemapDecision] = None
         if self.comm.rank == 0:
             # The round trip to the scheduler node.
-            yield self.ctx.env.timeout(self.framework.rpc_latency)
+            yield self.ctx.env.sleep(self.framework.rpc_latency)
             decision = self.framework.remap_request(
                 self.job, iteration_time, redistribution_time)
-            yield self.ctx.env.timeout(self.framework.rpc_latency)
+            yield self.ctx.env.sleep(self.framework.rpc_latency)
         decision = yield from self.comm.bcast(decision, root=0)
         return decision
 

@@ -57,12 +57,12 @@ class AppContext:
     def charge(self, flops: float) -> Generator:
         """Occupy this rank's processor for ``flops`` of local work."""
         node = self.machine.nodes[self.comm.node_of(self.comm.rank)]
-        yield self.env.timeout(flops / node.flop_rate)
+        yield self.env.sleep(flops / node.flop_rate)
 
     def charge_memory(self, nbytes: float) -> Generator:
         """One pass over ``nbytes`` of local memory (copies, transposes)."""
         node = self.machine.nodes[self.comm.node_of(self.comm.rank)]
-        yield self.env.timeout(nbytes / node.memory_bandwidth)
+        yield self.env.sleep(nbytes / node.memory_bandwidth)
 
     def shared_object(self, factory) -> Generator:
         """SPMD-safe shared object: rank 0 builds it, everyone gets it.
@@ -86,7 +86,7 @@ class AppContext:
         deterministic, so one sample of an identical op is exact.
         """
         if count > 1 and elapsed_once > 0:
-            yield self.env.timeout((count - 1) * elapsed_once)
+            yield self.env.sleep((count - 1) * elapsed_once)
         elif count <= 1:
             return
 
@@ -198,7 +198,7 @@ class Application(abc.ABC):
                         break
             if stable:
                 if last[comm.rank] > 0:
-                    yield ctx.env.timeout(last[comm.rank])
+                    yield ctx.env.sleep(last[comm.rank])
                 return None
         if len(runs) == len(done):
             runs.append({})

@@ -55,7 +55,7 @@ class SyntheticApplication(Application):
 
     def iterate(self, ctx: AppContext) -> Generator:
         # One timeout per rank: the whole iteration is a single event.
-        yield ctx.env.timeout(self.serial_seconds / ctx.size)
+        yield ctx.env.sleep(self.serial_seconds / ctx.size)
 
     def closed_form_duration(self, config, machine) -> float:
         """Perfect-speedup compute with no communication, assuming the

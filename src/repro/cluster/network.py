@@ -112,8 +112,8 @@ class Network:
         start = self.env.now
         if src == dst:
             node = self.nodes[src]
-            yield self.env.timeout(self.memory_latency +
-                                   nbytes / node.memory_bandwidth)
+            yield self.env.sleep(self.memory_latency +
+                                 nbytes / node.memory_bandwidth)
         else:
             src_nic = self.nodes[src].nic
             dst_nic = self.nodes[dst].nic
@@ -135,7 +135,7 @@ class Network:
                 # deadlock cycle: every transfer locks tx(src) then
                 # rx(dst) and a transfer holding rx never waits on a tx).
                 if self.software_overhead > 0:
-                    yield self.env.timeout(self.software_overhead)
+                    yield self.env.sleep(self.software_overhead)
                 t_arrive = self.env.now
                 tx_req = src_nic.tx.request()
                 yield tx_req
@@ -161,14 +161,14 @@ class Network:
             if replay is not None:
                 replay.real_interval(self.env.now + wire_time)
             try:
-                yield self.env.timeout(wire_time)
+                yield self.env.sleep(wire_time)
             finally:
                 self._active_flows -= 1
                 src_nic.tx.release(tx_req)
                 dst_nic.rx.release(rx_req)
             # Propagation latency after the wire is released: the NIC is
             # free to start the next frame while the last one is in flight.
-            yield self.env.timeout(self.latency)
+            yield self.env.sleep(self.latency)
             src_nic.bytes_sent += nbytes
             dst_nic.bytes_received += nbytes
         end = self.env.now

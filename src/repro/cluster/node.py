@@ -60,7 +60,7 @@ class Node:
         """Occupy one processor of this node for ``flops`` of work."""
         if flops < 0:
             raise ValueError("flops must be non-negative")
-        yield self.env.timeout(flops / self.flop_rate)
+        yield self.env.sleep(flops / self.flop_rate)
 
     def compute_time(self, flops: float) -> float:
         """Time one processor needs for ``flops`` of local work."""
@@ -95,8 +95,8 @@ class Disk:
         req = self._lock.request()
         yield req
         try:
-            yield self.env.timeout(self.seek_time +
-                                   nbytes / self.write_bandwidth)
+            yield self.env.sleep(self.seek_time +
+                                 nbytes / self.write_bandwidth)
             self.bytes_written += nbytes
         finally:
             self._lock.release(req)
@@ -106,8 +106,8 @@ class Disk:
         req = self._lock.request()
         yield req
         try:
-            yield self.env.timeout(self.seek_time +
-                                   nbytes / self.read_bandwidth)
+            yield self.env.sleep(self.seek_time +
+                                 nbytes / self.read_bandwidth)
             self.bytes_read += nbytes
         finally:
             self._lock.release(req)

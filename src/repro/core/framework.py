@@ -28,7 +28,7 @@ from repro.core.profiler import PerformanceProfiler
 from repro.core.queue import make_job_queue
 from repro.core.remap import RemapDecision, RemapScheduler
 from repro.mpi import World
-from repro.simulate import Environment, Event
+from repro.simulate import Environment
 
 
 class ReshapeFramework:
@@ -82,12 +82,18 @@ class ReshapeFramework:
         #: Cost of one application <-> scheduler message exchange.
         self.rpc_latency = rpc_latency
         self.jobs: list[Job] = []
-        self._wake_event: Optional[Event] = None
-        self.env.process(self._application_scheduler(),
-                         name="application-scheduler")
+        #: The Application Scheduler is handler-table driven, not a
+        #: generator process: arrivals, scheduling passes and direct
+        #: completions are packed records jumping straight to the
+        #: methods below (one queue tuple per hop, no Event objects, no
+        #: generator-resume machinery on the per-job path).
+        self._wake_pending = False
+        self._h_arrival = self.env.register_handler(self._on_arrival)
+        self._h_pass = self.env.register_handler(self._scheduler_pass)
+        self._h_complete = self.env.register_handler(self._complete_direct)
 
     # ------------------------------------------------------------------
-    # Submission and the Application Scheduler thread
+    # Submission and the Application Scheduler
     # ------------------------------------------------------------------
     def submit(self, app: Application, config: tuple[int, int], *,
                arrival: float = 0.0, name: Optional[str] = None,
@@ -100,19 +106,18 @@ class ReshapeFramework:
                              f"{job.requested_size} processors; the "
                              f"experiment has {self.pool.total}")
         self.jobs.append(job)
-        self.env.process(self._arrival(job), name=f"arrival:{job.name}")
+        # One packed record per arrival — not a per-job driver process.
+        self.env.call_at(max(job.arrival_time, self.env.now),
+                         self._h_arrival, job)
         return job
 
-    def _arrival(self, job: Job):
-        delay = job.arrival_time - self.env.now
-        if delay > 0:
-            yield self.env.timeout(delay)
+    def _on_arrival(self, job: Job) -> None:
         job.state = JobState.QUEUED
         self.queue.enqueue(job)
         self._wake()
 
     def _wake(self) -> None:
-        """Wake the application scheduler — unless nothing can start.
+        """Book a scheduling pass — unless nothing can start.
 
         The reservation ledger makes the filter exact: a wake is useful
         only if some queued job fits the free processors (with simple
@@ -121,27 +126,26 @@ class ReshapeFramework:
         state change that could flip the answer (arrival, release,
         shrink) comes back through here.
         """
-        if self._wake_event is None or self._wake_event.triggered:
+        if self._wake_pending:
             return
         if not self.queue.can_start(self.pool.free_count):
             self.ledger.wakes_skipped += 1
             return
         self.ledger.wakes_taken += 1
-        self._wake_event.succeed()
+        self._wake_pending = True
+        self.env.call_at(self.env.now, self._h_pass, None)
 
-    def _application_scheduler(self):
-        """FCFS/backfill scheduling loop (its own 'thread', as in §3.1)."""
+    def _scheduler_pass(self, _arg) -> None:
+        """One FCFS/backfill scheduling pass (the §3.1 scheduler body)."""
+        self._wake_pending = False
         while True:
-            self._wake_event = self.env.event()
-            while True:
-                job = self.queue.next_startable(self.pool.free_count)
-                if job is None:
-                    break
-                self._start_job(job)
-            # Record the blocked head's claim on the idle processors (0
-            # when the queue is empty or drained).
-            self.ledger.refresh(self.queue, self.pool.free_count)
-            yield self._wake_event
+            job = self.queue.next_startable(self.pool.free_count)
+            if job is None:
+                break
+            self._start_job(job)
+        # Record the blocked head's claim on the idle processors (0
+        # when the queue is empty or drained).
+        self.ledger.refresh(self.queue, self.pool.free_count)
 
     def _start_job(self, job: Job) -> None:
         """Job Startup: allocate, build data, launch rank processes."""
@@ -168,9 +172,8 @@ class ReshapeFramework:
             duration = job.app.closed_form_duration(job.initial_config,
                                                     self.machine)
             if duration is not None:
-                done = self.env.wake_at(self.env.now + duration)
-                done.callbacks.append(
-                    lambda _ev, job=job: self._complete_direct(job))
+                self.env.call_at(self.env.now + duration,
+                                 self._h_complete, job)
                 return
         from repro.api.resize import resizable_main
         self.world.launch(resizable_main, processors=processors,

@@ -347,7 +347,7 @@ class Comm:
                 # start first, so the replay registers it at its true
                 # issue time (grant ordering and backplane sampling vs
                 # other traffic stay exact).
-                yield env.wake_at(t)
+                yield env.sleep_until(t)
             ends: list[float] = []
             ev = self._fast_send_event(replay, token, child, tag,
                                        token.nbytes, start=t,
@@ -360,7 +360,7 @@ class Comm:
                 yield ev
                 t = env.now
         if t > env.now:
-            yield env.wake_at(t)
+            yield env.sleep_until(t)
 
     # -- collectives --------------------------------------------------------------
     def barrier(self) -> Generator:
@@ -677,7 +677,7 @@ class World:
     def _delayed_main(self, main: Callable[..., Generator], comm: Comm,
                       args: tuple, delay: float) -> Generator:
         if delay > 0:
-            yield self.env.timeout(delay)
+            yield self.env.sleep(delay)
         result = yield from main(comm, *args)
         return result
 

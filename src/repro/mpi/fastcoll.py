@@ -10,8 +10,9 @@ grants, wire timeout, latency timeout, mailbox put/get, request wait).
 For phantom payloads nothing in that machinery carries information — the
 payload is a byte count and the algorithms route it deterministically —
 so the completion *times* of every rank can be computed with plain
-arithmetic and delivered through one :class:`~repro.simulate.engine.
-AggregateEvent` per distinct completion time.
+arithmetic and delivered through one packed
+:class:`~repro.simulate.engine.Batch` record per distinct completion
+time.
 
 Equivalence contract
 --------------------
@@ -695,6 +696,9 @@ class LiveCall:
         self.sim.on_progress = self._on_progress
         self.events: dict[int, Event] = {}
         self._pump_at: Optional[float] = None
+        #: One table entry shared by every LiveCall on this Environment
+        #: (registered unbound, instance passed as the record argument).
+        self._h_pump = self.env.handler_id(LiveCall._on_pump)
 
     def join(self, rank: int, payload: Any) -> Event:
         ev = Event(self.env)
@@ -725,11 +729,10 @@ class LiveCall:
         if nxt is not None and (self._pump_at is None
                                 or nxt < self._pump_at):
             self._pump_at = nxt
-            pump = self.env.wake_at(max(now, nxt))
-            assert pump.callbacks is not None
-            pump.callbacks.append(self._on_pump)
+            # One packed record — no Event object, no callback list.
+            self.env.call_at(max(now, nxt), self._h_pump, self)
 
-    def _on_pump(self, _event: Event) -> None:
+    def _on_pump(self) -> None:
         self._pump_at = None
         if self.sim.finished:
             return

@@ -65,7 +65,7 @@ from typing import Callable, Optional
 
 from repro.mpi.datatypes import HEADER_BYTES
 from repro.simulate import Event
-from repro.simulate.engine import AggregateEvent
+from repro.simulate.engine import Batch
 
 
 def net_replay(network) -> "NetReplay":
@@ -110,9 +110,12 @@ class NetReplay:
         #: at once); the deferred machine is only needed then.
         self.exact = len(nodes) * bw_max > network.backplane_bandwidth
         self._seq = 0
+        #: One packed pump record handler for the whole replay (see
+        #: _arm_pump); registered once per network replay.
+        self._h_pump = network.env.register_handler(self._on_pump)
         #: Completion-event grouping: absolute completion time ->
-        #: AggregateEvent, so simultaneous completions share a heap entry.
-        self._groups: dict[float, AggregateEvent] = {}
+        #: packed Batch, so simultaneous completions share one record.
+        self._groups: dict[float, Batch] = {}
         self._txq: dict[int, list] = {}      # node -> flows by (t_arrive, seq)
         self._tx_busy: dict[int, bool] = {}  # tx granted, not yet finalized
         self._rxq: dict[int, list] = {}      # node -> flows by (g_tx, seq)
@@ -333,11 +336,10 @@ class NetReplay:
         if self._pump_at is not None and self._pump_at <= when:
             return
         self._pump_at = when
-        ev = self.env.wake_at(when)
-        assert ev.callbacks is not None
-        ev.callbacks.append(self._on_pump)
+        # One packed record — no Event object, no callback list.
+        self.env.call_at(when, self._h_pump, None)
 
-    def _on_pump(self, _event: Event) -> None:
+    def _on_pump(self, _arg) -> None:
         self._pump_at = None
         if self._unresolved and not self._sweeping:
             self._sweep()
@@ -390,12 +392,11 @@ class NetReplay:
     # Completion-event grouping
     # ------------------------------------------------------------------
     def _group_member(self, ev: Event, when: float) -> None:
-        agg = self._groups.get(when)
-        if agg is None or agg.processed:
+        batch = self._groups.get(when)
+        if batch is None or batch.fired:
             if len(self._groups) > 64:
-                self._groups = {t: a for t, a in self._groups.items()
-                                if not a.processed}
-            agg = AggregateEvent(self.env)
-            self.env.schedule_at(agg, when)
-            self._groups[when] = agg
-        agg.add(ev)
+                self._groups = {t: b for t, b in self._groups.items()
+                                if not b.fired}
+            batch = self.env.batch_at(when)
+            self._groups[when] = batch
+        batch.add(ev)

@@ -218,7 +218,7 @@ def redistribute(comm: Comm, source: DistributedMatrix,
         pending = []
         for msg, dst_rank, nbytes in rank_step.sends:
             # Packing: one pass over the message payload through memory.
-            yield comm.env.timeout(nbytes / memory_bandwidth)
+            yield comm.env.sleep(nbytes / memory_bandwidth)
             if dst_rank == me:
                 # Local copy: no wire traffic, and no wire format — a
                 # fused src->dst scatter with no strip temporaries.
@@ -256,7 +256,7 @@ def redistribute(comm: Comm, source: DistributedMatrix,
                                    data)
                 release_strips(data)
             # Unpacking pass through memory on the receive side.
-            yield comm.env.timeout(nbytes / memory_bandwidth)
+            yield comm.env.sleep(nbytes / memory_bandwidth)
         for req in pending:
             yield from req.wait()
 

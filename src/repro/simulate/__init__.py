@@ -22,30 +22,38 @@ from repro.simulate.calendar import (
     make_event_queue,
 )
 from repro.simulate.engine import (
-    AggregateEvent,
+    HANDLER_BATCH,
+    HANDLER_EVENT,
+    HANDLER_RESUME,
     AllOf,
     AnyOf,
+    Batch,
     Environment,
     Event,
     Interrupt,
     Process,
     SimulationError,
+    Sleep,
     Timeout,
 )
 from repro.simulate.resources import Resource, Store
 
 __all__ = [
-    "AggregateEvent",
     "AllOf",
     "AnyOf",
+    "Batch",
     "CalendarEventQueue",
     "Environment",
     "Event",
+    "HANDLER_BATCH",
+    "HANDLER_EVENT",
+    "HANDLER_RESUME",
     "HeapEventQueue",
     "Interrupt",
     "Process",
     "Resource",
     "SimulationError",
+    "Sleep",
     "Store",
     "Timeout",
     "make_event_queue",

@@ -42,9 +42,13 @@ from typing import Any, Optional
 
 _INF = float("inf")
 
-#: Entry tuples are ``(when, priority, seq, event)`` — the same shape the
-#: seed kernel stored in its heap, compared left-to-right.
-Entry = tuple  # (float, int, int, Any)
+#: Entry tuples are packed records ``(when, priority, seq, handler_id,
+#: arg)``, compared left-to-right.  ``seq`` is unique (the Environment's
+#: monotone tie counter), so comparisons never reach the handler id or
+#: the argument — the queue stores them opaquely and pop order is fully
+#: determined by the ``(when, priority, seq)`` key, exactly as it was
+#: for the seed kernel's ``(when, priority, seq, event)`` entries.
+Entry = tuple  # (float, int, int, int, Any)
 
 
 class HeapEventQueue:
@@ -60,8 +64,9 @@ class HeapEventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def push(self, when: float, priority: int, seq: int, event: Any) -> None:
-        heappush(self._heap, (when, priority, seq, event))
+    def push(self, when: float, priority: int, seq: int,
+             handler_id: int, arg: Any) -> None:
+        heappush(self._heap, (when, priority, seq, handler_id, arg))
 
     def pop(self) -> Entry:
         return heappop(self._heap)
@@ -130,20 +135,21 @@ class CalendarEventQueue:
         return self._size
 
     # -- scheduling --------------------------------------------------------
-    def push(self, when: float, priority: int, seq: int, event: Any) -> None:
+    def push(self, when: float, priority: int, seq: int,
+             handler_id: int, arg: Any) -> None:
         self._size += 1
         if not self._calendar:
-            heappush(self._heap, (when, priority, seq, event))
+            heappush(self._heap, (when, priority, seq, handler_id, arg))
             if self._size > self._SPILL:
                 self._spill()
             return
         slot = int(when * self._inv) if when < _INF else _INF
         bucket = self._slots.get(slot)
         if bucket is None:
-            self._slots[slot] = [(when, priority, seq, event)]
+            self._slots[slot] = [(when, priority, seq, handler_id, arg)]
             heappush(self._slot_heap, slot)
         else:
-            bucket.append((when, priority, seq, event))
+            bucket.append((when, priority, seq, handler_id, arg))
             if slot == self._cur:
                 self._cur = None
         self._pushes += 1

@@ -1,18 +1,31 @@
-"""Core discrete-event kernel: environment, events, processes.
+"""Core discrete-event kernel: environment, packed records, processes.
 
-The design follows the classic event-queue pattern: a queue of
-``(time, priority, seq, event)`` entries; popping an entry *fires* the
-event, which runs its callbacks; process callbacks advance a generator
-until it yields the next event to wait on.
+The queue stores *packed records* — ``(time, priority, seq, handler_id,
+arg)`` tuples — not event objects.  Popping a record jumps through a
+small per-:class:`Environment` handler table: ``handler_id`` 0 fires the
+:class:`Event` object in ``arg`` (the rich composition layer), any other
+id calls a registered handler function with ``arg``.  The common case —
+a one-shot timed wakeup — therefore never allocates an ``Event`` or a
+callback list: :meth:`Environment.call_at` books a bare record, and a
+process that yields :meth:`Environment.sleep` is resumed through the
+builtin process-resume handler.
 
-The queue itself lives behind the small interface in
-:mod:`repro.simulate.calendar`: a slotted calendar queue by default
-(O(1) amortized at large event populations), with the seed binary heap
-available as ``Environment(kernel="heap")`` for ablation.  All
-scheduling — ``schedule``, ``schedule_at``, ``wake_at``,
-``schedule_many`` — goes through :meth:`Environment.schedule_entry`, the
-single point that issues the monotone tie counter; nothing else may
-touch the queue, or tie ordering (and with it determinism) breaks.
+Rich ``Event`` / :class:`Process` / ``AllOf``-style composition remains
+as a thin layer on top: an Event is a value holder plus a callback list,
+and scheduling one just packs a record with handler id 0.  The queue
+itself lives behind the small interface in
+:mod:`repro.simulate.calendar`: a slotted calendar queue by default,
+with the seed binary heap available as ``Environment(kernel="heap")``
+for ablation.
+
+Determinism contract: records are totally ordered by ``(time, priority,
+seq)`` where ``seq`` is the monotone tie counter ``Environment._seq``.
+Every scheduling path (``schedule``, ``schedule_at``, ``wake_at``,
+``call_at``, ``call_later``, ``deliver``, ``batch_at``, a yielded
+``Sleep``) increments it exactly once at the moment its record is
+pushed; nothing else may touch the queue, or tie ordering (and with it
+determinism) breaks.  The handler id and argument are never compared —
+``seq`` is unique, so comparisons stop at the third field.
 """
 
 from __future__ import annotations
@@ -25,6 +38,13 @@ from repro.simulate.calendar import make_event_queue
 #: the same timestamp; used by the kernel for interrupts.
 URGENT = 0
 NORMAL = 1
+
+#: Builtin handler-table positions, identical in every Environment
+#: (asserted at construction).  0 is the Event-object dispatcher and is
+#: inlined in the run loop; the others are module-level functions below.
+HANDLER_EVENT = 0
+HANDLER_RESUME = 1
+HANDLER_BATCH = 2
 
 
 class SimulationError(RuntimeError):
@@ -112,6 +132,29 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class Sleep:
+    """A packed one-shot timed wakeup a process can yield.
+
+    The flat replacement for :class:`Timeout` on the hot path: a process
+    that yields a Sleep is resumed by a single packed
+    ``(when, NORMAL, seq, HANDLER_RESUME, (process, value, token))``
+    record — no Event object, no callback list.  A Sleep is *not* an
+    Event: it cannot be shared, composed (``AllOf``/``AnyOf``) or
+    waited on by anyone but the yielding process.  Use
+    :meth:`Environment.timeout` where Event semantics are needed.
+
+    Created via :meth:`Environment.sleep` (relative) or
+    :meth:`Environment.sleep_until` (absolute); the wakeup time is fixed
+    at creation.
+    """
+
+    __slots__ = ("when", "value")
+
+    def __init__(self, when: float, value: Any = None):
+        self.when = when
+        self.value = value
+
+
 class Timeout(Event):
     """Event that fires automatically ``delay`` seconds after creation."""
 
@@ -148,7 +191,7 @@ class Process(Event):
     on it or interrupt it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_sleep_token", "name")
 
     def __init__(self, env: "Environment", generator: Generator,
                  name: Optional[str] = None):
@@ -157,8 +200,11 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        #: The event this process is currently waiting on.
-        self._target: Optional[Event] = Initialize(env, self)
+        #: Guard for packed sleeps: an interrupt bumps the token so the
+        #: orphaned wakeup record is ignored when it eventually pops.
+        self._sleep_token = 0
+        #: The event (or Sleep) this process is currently waiting on.
+        self._target: Any = Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -177,87 +223,105 @@ class Process(Event):
         self.env.schedule(interrupt_ev, priority=URGENT)
         # Deregister from the old target so a later trigger is ignored.
         target = self._target
-        if target is not None and target.callbacks is not None:
+        self._target = None
+        if type(target) is Sleep:
+            # The packed wakeup record cannot be removed from the queue;
+            # bumping the token makes it a no-op when it pops.
+            self._sleep_token += 1
+        elif target is not None and target.callbacks is not None:
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-        self._target = None
 
     # -- generator driving --------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
-        self.env._active_proc = self
+        self._advance(event._ok, event._value)
+
+    def _advance(self, ok: bool, value: Any) -> None:
+        """Advance the generator with a bare (ok, value) outcome."""
+        env = self.env
+        env._active_proc = self
         while True:
             try:
-                if event._ok:
-                    next_ev = self._generator.send(event._value)
+                if ok:
+                    next_ev = self._generator.send(value)
                 else:
-                    exc = event._value
-                    if isinstance(exc, BaseException):
-                        next_ev = self._generator.throw(exc)
+                    if isinstance(value, BaseException):
+                        next_ev = self._generator.throw(value)
                     else:  # pragma: no cover - defensive
                         next_ev = self._generator.throw(
-                            SimulationError(repr(exc)))
+                            SimulationError(repr(value)))
             except StopIteration as stop:
                 self._target = None
                 self._value = stop.value
                 self._ok = True
-                self.env.schedule(self)
+                env.schedule(self)
                 break
             except BaseException as err:
                 self._target = None
                 self._value = err
                 self._ok = False
                 if self.callbacks:
-                    self.env.schedule(self)
+                    env.schedule(self)
                 else:
                     # Nobody is waiting: surface the crash instead of
                     # swallowing it silently.
-                    self.env._active_proc = None
+                    env._active_proc = None
                     raise
                 break
 
+            if type(next_ev) is Sleep:
+                # Packed timed wakeup: one record, no Event machinery.
+                self._sleep_token += 1
+                self._target = next_ev
+                env._seq += 1
+                env._queue.push(next_ev.when, NORMAL, env._seq,
+                                HANDLER_RESUME,
+                                (self, next_ev.value, self._sleep_token))
+                break
             if not isinstance(next_ev, Event):
                 msg = (f"process {self.name!r} yielded {next_ev!r}; "
-                       "processes must yield Event instances")
+                       "processes must yield Event or Sleep instances")
                 self._generator.throw(SimulationError(msg))
                 continue
-            if next_ev.env is not self.env:
+            if next_ev.env is not env:
                 raise SimulationError("event belongs to a different Environment")
 
             if next_ev._processed:
                 # Already fired and delivered: re-deliver its value now.
-                event = next_ev
+                ok = next_ev._ok
+                value = next_ev._value
                 continue
             # Wait for it.
             assert next_ev.callbacks is not None
             next_ev.callbacks.append(self._resume)
             self._target = next_ev
             break
-        self.env._active_proc = None
+        env._active_proc = None
 
 
-class AggregateEvent(Event):
-    """One heap entry that fires a batch of member events together.
+class Batch:
+    """Events delivered together by one packed queue record.
 
-    The batched-completion primitive behind the phantom fast path: a
-    P-rank collective resolves all P per-rank completion events through a
-    single scheduled entry instead of P separate ones.  Members are
-    resolved (value assigned) when added and delivered — callbacks run,
-    ``processed`` becomes true — when the aggregate itself fires.
-    Members fire in the order they were added.
+    The batched-completion primitive behind the phantom fast paths: a
+    P-rank collective resolves all P per-rank completion events through
+    a single ``(when, priority, seq, HANDLER_BATCH, batch)`` record
+    instead of P separate ones.  Members are resolved (value assigned)
+    when added and delivered — callbacks run, ``processed`` becomes true
+    — when the record pops, in the order they were added.
+
+    Created via :meth:`Environment.batch_at`; members may be added any
+    time before the batch fires (``fired`` flips when it has).
     """
 
-    __slots__ = ("members",)
+    __slots__ = ("env", "members", "fired")
 
     def __init__(self, env: "Environment"):
-        super().__init__(env)
+        self.env = env
         self.members: list[Event] = []
-        self._value = None
-        self._ok = True
-        assert self.callbacks is not None
-        self.callbacks.append(self._fire_members)
+        self.fired = False
 
     def add(self, event: Event, value: Any = None, ok: bool = True) -> None:
         """Attach ``event`` as a member resolving to ``value``."""
@@ -267,18 +331,30 @@ class AggregateEvent(Event):
             raise SimulationError("event belongs to a different Environment")
         event._value = value
         event._ok = ok
-        # The aggregate owns delivery; nothing else may schedule it.
+        # The batch owns delivery; nothing else may schedule the member.
         event._scheduled = True
         self.members.append(event)
 
-    def _fire_members(self, _event: Event) -> None:
-        for member in self.members:
-            callbacks = member.callbacks
-            member.callbacks = None
-            member._processed = True
-            if callbacks:
-                for cb in callbacks:
-                    cb(member)
+
+def _resume_sleeping(arg) -> None:
+    """HANDLER_RESUME: wake the process sleeping on a packed record."""
+    process, value, token = arg
+    if process._sleep_token != token:
+        return  # interrupted while asleep; the record is orphaned
+    process._target = None
+    process._advance(True, value)
+
+
+def _fire_batch(batch: Batch) -> None:
+    """HANDLER_BATCH: deliver every member of a :class:`Batch`."""
+    batch.fired = True
+    for member in batch.members:
+        callbacks = member.callbacks
+        member.callbacks = None
+        member._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(member)
 
 
 class _Condition(Event):
@@ -294,6 +370,11 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
         for ev in self.events:
+            if not isinstance(ev, Event):
+                raise SimulationError(
+                    f"{ev!r} is not an Event; Sleep wakeups are "
+                    "single-waiter and cannot be composed — use "
+                    "env.timeout() where condition semantics are needed")
             if ev.env is not env:
                 raise SimulationError("all events must share one Environment")
             if ev._processed:
@@ -339,7 +420,7 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation world: clock + event queue + process factory."""
+    """The simulation world: clock + packed event queue + handler table."""
 
     def __init__(self, initial_time: float = 0.0, *,
                  kernel: str = "calendar"):
@@ -351,6 +432,15 @@ class Environment:
         self.kernel = kernel
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: The handler table: position 0 is the Event-object dispatcher
+        #: (inlined in the run loop, never called through the table);
+        #: builtin handlers follow at fixed positions, then whatever the
+        #: session registers.  The table only ever grows — ids stay
+        #: valid for the Environment's lifetime.
+        self._handlers: list[Any] = [None]
+        self._handler_ids: dict[Any, int] = {}
+        assert self.register_handler(_resume_sleeping) == HANDLER_RESUME
+        assert self.register_handler(_fire_batch) == HANDLER_BATCH
 
     @property
     def now(self) -> float:
@@ -361,15 +451,41 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_proc
 
+    # -- handler table ------------------------------------------------------
+    def register_handler(self, fn: Callable[[Any], None]) -> int:
+        """Append ``fn`` to the handler table; returns its id.
+
+        ``fn`` is called as ``fn(arg)`` when a record scheduled with its
+        id pops.  Register once and reuse the id — the table never
+        shrinks, so per-call registration would leak entries (use
+        :meth:`handler_id` for idempotent registration).
+        """
+        self._handlers.append(fn)
+        return len(self._handlers) - 1
+
+    def handler_id(self, fn: Callable[[Any], None]) -> int:
+        """Idempotent :meth:`register_handler`: one table entry per
+        function, cached by identity.
+
+        The pattern for classes with many short-lived instances (e.g.
+        one per collective call): register the *unbound* method once and
+        pass the instance as ``arg``.
+        """
+        hid = self._handler_ids.get(fn)
+        if hid is None:
+            hid = self._handler_ids[fn] = self.register_handler(fn)
+        return hid
+
     # -- scheduling ---------------------------------------------------------
     def schedule_entry(self, event: Event, when: float,
                        priority: int) -> None:
-        """The one queue entry point: issue a tie number, enqueue.
+        """Queue entry point for Event objects: issue a tie number,
+        pack a handler-id-0 record.
 
-        Every scheduling path must come through here (``schedule``,
-        ``schedule_at``, ``wake_at``, ``schedule_many`` all do) so the
-        monotone ``seq`` counter covers the whole queue — an entry
-        pushed around it could tie-break nondeterministically.
+        Every Event scheduling path comes through here (``schedule``,
+        ``schedule_at``, ``wake_at`` all do) so the monotone ``seq``
+        counter covers the whole queue — an entry pushed around it could
+        tie-break nondeterministically.
         """
         if when != when:  # NaN would silently corrupt the queue order
             raise SimulationError("event time is NaN")
@@ -377,7 +493,7 @@ class Environment:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
         self._seq += 1
-        self._queue.push(when, priority, self._seq, event)
+        self._queue.push(when, priority, self._seq, HANDLER_EVENT, event)
 
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
@@ -399,6 +515,50 @@ class Environment:
                                   f"(now {self._now})")
         self.schedule_entry(event, when, priority)
 
+    def call_at(self, when: float, handler_id: int, arg: Any = None,
+                priority: int = NORMAL) -> None:
+        """Book a bare packed record: at ``when``, call
+        ``handlers[handler_id](arg)``.
+
+        The object-free one-shot wakeup — no Event, no callback list,
+        one tuple in the queue.  ``handler_id`` comes from
+        :meth:`register_handler` / :meth:`handler_id`.
+        """
+        if when != when:
+            raise SimulationError("event time is NaN")
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past "
+                                  f"(now {self._now})")
+        self._seq += 1
+        self._queue.push(when, priority, self._seq, handler_id, arg)
+
+    def call_later(self, delay: float, handler_id: int, arg: Any = None,
+                   priority: int = NORMAL) -> None:
+        """Relative-time :meth:`call_at`: fire ``delay`` seconds from now."""
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        self._queue.push(self._now + delay, priority, self._seq,
+                         handler_id, arg)
+
+    def deliver(self, event: Event, value: Any = None, ok: bool = True,
+                priority: int = NORMAL) -> None:
+        """Resolve ``event`` and book its firing at the current instant.
+
+        The packed grant path for Store/Resource: one call replacing
+        ``succeed()`` → ``schedule()`` → ``schedule_entry()``, producing
+        the identical record at the identical ``(time, priority, seq)``
+        position.
+        """
+        if event._value is not PENDING or event._scheduled:
+            raise SimulationError(f"{event!r} already triggered")
+        event._value = value
+        event._ok = ok
+        event._scheduled = True
+        self._seq += 1
+        self._queue.push(self._now, priority, self._seq, HANDLER_EVENT,
+                         event)
+
     def wake_at(self, when: float, value: Any = None) -> Event:
         """An event that fires at the absolute time ``when``."""
         ev = Event(self)
@@ -407,24 +567,53 @@ class Environment:
         self.schedule_at(ev, when)
         return ev
 
+    def sleep(self, delay: float, value: Any = None) -> Sleep:
+        """A packed timed wakeup for the yielding process (relative).
+
+        ``yield env.sleep(d)`` is the flat form of
+        ``yield env.timeout(d)``: same clock advance, same interrupt
+        semantics, no Event allocation.  Only the yielding process can
+        consume it.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"negative sleep delay {delay!r}")
+        return Sleep(self._now + delay, value)
+
+    def sleep_until(self, when: float, value: Any = None) -> Sleep:
+        """A packed timed wakeup at the absolute time ``when``."""
+        if when != when:
+            raise SimulationError("event time is NaN")
+        if when < self._now:
+            raise SimulationError(f"sleep_until({when}) is in the past "
+                                  f"(now {self._now})")
+        return Sleep(when, value)
+
+    def batch_at(self, when: float, priority: int = NORMAL) -> Batch:
+        """A :class:`Batch` whose members deliver together at ``when``.
+
+        One packed record regardless of member count; members may be
+        added until the record pops.
+        """
+        batch = Batch(self)
+        self.call_at(when, HANDLER_BATCH, batch, priority)
+        return batch
+
     def schedule_many(self, completions, priority: int = NORMAL
-                      ) -> list["AggregateEvent"]:
+                      ) -> list[Batch]:
         """Schedule many ``(event, value, when)`` completions at once.
 
         ``when`` is an absolute simulated time.  Completions sharing a
-        time are grouped into one :class:`AggregateEvent`, so N
-        simultaneous logical completions cost one heap entry.  Within a
-        group, events fire in input order.  Returns the aggregates (one
-        per distinct time).
+        time are grouped into one :class:`Batch`, so N simultaneous
+        logical completions cost one packed record.  Within a group,
+        events fire in input order.  Returns the batches (one per
+        distinct time).
         """
-        groups: dict[float, AggregateEvent] = {}
+        groups: dict[float, Batch] = {}
         for event, value, when in completions:
-            agg = groups.get(when)
-            if agg is None:
-                agg = groups[when] = AggregateEvent(self)
-            agg.add(event, value)
-        for when, agg in groups.items():
-            self.schedule_at(agg, when, priority=priority)
+            batch = groups.get(when)
+            if batch is None:
+                batch = groups[when] = self.batch_at(when, priority)
+            batch.add(event, value)
         return list(groups.values())
 
     # -- factories ------------------------------------------------------------
@@ -446,19 +635,22 @@ class Environment:
 
     # -- main loop ------------------------------------------------------------
     def step(self) -> None:
-        """Fire the next event in the queue."""
+        """Pop and dispatch the next record in the queue."""
         if not self._queue:
             raise SimulationError("step() on an empty queue")
-        when, _prio, _seq, event = self._queue.pop()
+        when, _prio, _seq, hid, arg = self._queue.pop()
         if when < self._now:  # pragma: no cover - queue guarantees order
             raise SimulationError("time went backwards")
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None  # new waiters see a processed event
-        event._processed = True
+        if hid:
+            self._handlers[hid](arg)
+            return
+        callbacks = arg.callbacks
+        arg.callbacks = None  # new waiters see a processed event
+        arg._processed = True
         assert callbacks is not None
         for cb in callbacks:
-            cb(event)
+            cb(arg)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the queue is empty."""
@@ -484,15 +676,21 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise SimulationError(f"until={deadline} is in the past")
-        # Hot loop: one pop_due call per event (a fused peek + pop), the
-        # firing inlined from step() to keep per-event overhead down.
+        # Hot loop: one pop_due call per record (a fused peek + pop),
+        # then one table jump — Event firing (handler id 0) is inlined
+        # to keep the common composition path flat too.
         pop_due = self._queue.pop_due
+        handlers = self._handlers
         while True:
             entry = pop_due(deadline)
             if entry is None:
                 break
-            when, _prio, _seq, event = entry
-            self._now = when
+            self._now = entry[0]
+            hid = entry[3]
+            if hid:
+                handlers[hid](entry[4])
+                continue
+            event = entry[4]
             callbacks = event.callbacks
             event.callbacks = None
             event._processed = True

@@ -83,11 +83,13 @@ class Store:
         progress = True
         while progress:
             progress = False
-            # Accept puts while there is room.
+            # Accept puts while there is room.  Grants ride the packed
+            # delivery path (env.deliver): one fused call books the same
+            # (time, priority, seq) record succeed() would.
             while self._put_queue and len(self.items) < self.capacity:
                 put_ev = self._put_queue.popleft()
                 self.items.append(put_ev.item)
-                put_ev.succeed()
+                self.env.deliver(put_ev)
                 progress = True
             # Serve gets, respecting filters, preserving FIFO among getters.
             served: list[StoreGet] = []
@@ -100,7 +102,7 @@ class Store:
                 if match_idx is not None:
                     item = self.items[match_idx]
                     del self.items[match_idx]
-                    get_ev.succeed(item)
+                    self.env.deliver(get_ev, item)
                     served.append(get_ev)
                     progress = True
             for ev in served:
@@ -163,7 +165,9 @@ class Resource:
                 raise SimulationError("release of unknown request")
 
     def _trigger(self) -> None:
+        # Grant delivery is packed (env.deliver): same record, same
+        # (time, priority, seq) position, one call instead of three.
         while self._queue and len(self._users) < self.capacity:
             req = self._queue.popleft()
             self._users.add(req)
-            req.succeed()
+            self.env.deliver(req)

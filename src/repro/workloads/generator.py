@@ -1,13 +1,33 @@
 """Synthetic workload generation for throughput studies beyond W1/W2.
 
 The paper evaluates two hand-built job mixes; scheduling research needs
-more.  :class:`WorkloadGenerator` draws job mixes with Poisson arrivals
-and size/kind distributions, deterministically from a seed, so larger
-utilization/throughput sweeps are reproducible.
+more.  :class:`WorkloadGenerator` draws job mixes with configurable
+arrival processes and size/kind distributions, deterministically from a
+seed, so larger utilization/throughput sweeps are reproducible.
+
+Arrival models (``arrival_model``), all mean-preserving — every model
+keeps the long-run arrival rate at ``1 / mean_interarrival`` so sweeps
+over models compare like for like at fixed offered load:
+
+``"poisson"``
+    Exponential interarrivals (the memoryless baseline).
+``"lognormal"``
+    Heavy-tailed lognormal gaps, ``mu = ln(mean) - sigma^2 / 2`` so the
+    mean is exact; ``lognormal_sigma`` controls tail weight.
+``"pareto"``
+    Pareto gaps with shape ``pareto_alpha`` (> 1) and scale
+    ``xm = mean * (alpha - 1) / alpha``; small alpha gives the bursty
+    long-silence / packed-cluster pattern real traces show.
+``"diurnal"``
+    Non-homogeneous Poisson with a sinusoidal day/night rate,
+    ``rate(t) = (1 + A sin(2 pi t / period)) / mean``, sampled by
+    Lewis-Shedler thinning at the peak rate; ``diurnal_amplitude`` is
+    ``A`` in [0, 1] and ``diurnal_period`` the cycle length in seconds.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -43,6 +63,47 @@ class WorkloadGenerator:
     mean_interarrival: float = 300.0
     max_initial: int = 16
     kinds: Optional[Sequence[str]] = None
+    #: Interarrival process: ``"poisson"`` (default), ``"lognormal"``,
+    #: ``"pareto"`` or ``"diurnal"`` — see the module docstring.
+    arrival_model: str = "poisson"
+    lognormal_sigma: float = 1.5
+    pareto_alpha: float = 1.5
+    diurnal_amplitude: float = 0.5
+    diurnal_period: float = 86400.0
+
+    def _gap(self, rng: random.Random, clock: float, mean: float) -> float:
+        """One interarrival gap from ``arrival_model``, mean-preserving."""
+        model = self.arrival_model
+        if model == "poisson":
+            return rng.expovariate(1.0 / mean)
+        if model == "lognormal":
+            sigma = self.lognormal_sigma
+            if sigma <= 0:
+                raise ValueError("lognormal_sigma must be positive")
+            mu = math.log(mean) - 0.5 * sigma * sigma
+            return rng.lognormvariate(mu, sigma)
+        if model == "pareto":
+            alpha = self.pareto_alpha
+            if alpha <= 1.0:
+                raise ValueError("pareto_alpha must exceed 1 (the mean "
+                                 "is infinite otherwise)")
+            xm = mean * (alpha - 1.0) / alpha
+            return xm * rng.paretovariate(alpha)
+        if model == "diurnal":
+            amp = self.diurnal_amplitude
+            if not 0.0 <= amp <= 1.0:
+                raise ValueError("diurnal_amplitude must be in [0, 1]")
+            # Lewis-Shedler thinning: candidates at the peak rate,
+            # accepted with probability rate(t) / peak.
+            peak = (1.0 + amp) / mean
+            omega = 2.0 * math.pi / self.diurnal_period
+            t = clock
+            while True:
+                t += rng.expovariate(peak)
+                rate = (1.0 + amp * math.sin(omega * t)) / mean
+                if rng.random() * peak <= rate:
+                    return t - clock
+        raise ValueError(f"unknown arrival model {model!r}")
 
     def generate(self, count: int) -> list[JobSpec]:
         if count < 1:
@@ -64,7 +125,7 @@ class WorkloadGenerator:
             specs.append(JobSpec(kind=kind, problem_size=size,
                                  initial_config=config, arrival=clock,
                                  label=f"{kind}-{i}"))
-            clock += rng.expovariate(1.0 / self.mean_interarrival)
+            clock += self._gap(rng, clock, self.mean_interarrival)
         return specs
 
     def generate_scale(self, count: int, *,
@@ -79,10 +140,11 @@ class WorkloadGenerator:
         layer.  Sizes draw uniformly from ``1..max_size`` processors
         (default: the generator's ``max_initial``), serial work draws
         exponentially around ``mean_serial_ms`` milliseconds, and
-        arrivals are a near-burst Poisson stream (``burst`` seconds
-        mean spacing) — the machine saturates early, so most of the
-        population is *queued* most of the time, which is exactly the
-        regime the size-indexed queue and calendar kernel exist for.
+        arrivals are a near-burst stream (``burst`` seconds mean
+        spacing, drawn from ``arrival_model``) — the machine saturates
+        early, so most of the population is *queued* most of the time,
+        which is exactly the regime the size-indexed queue and calendar
+        kernel exist for.
 
         Deterministic in ``seed``: two calls build identical specs, and
         two runs of the resulting workload must produce identical
@@ -100,7 +162,7 @@ class WorkloadGenerator:
             specs.append(JobSpec(kind="synthetic", problem_size=serial_ms,
                                  initial_config=(1, size), arrival=clock,
                                  label=f"syn-{i}"))
-            clock += rng.expovariate(1.0 / burst)
+            clock += self._gap(rng, clock, burst)
         return specs
 
     def submit_all(self, framework, specs: Sequence[JobSpec], *,

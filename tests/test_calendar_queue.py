@@ -8,6 +8,7 @@ transitions (heap <-> calendar spill/collapse and bucket-width
 resizes).
 """
 
+import heapq
 import random
 
 import pytest
@@ -33,8 +34,8 @@ def drive_both(ops):
         if op == "push" or not len(heap):
             seq += 1
             when = now + value[0]
-            heap.push(when, value[1], seq, seq)
-            cal.push(when, value[1], seq, seq)
+            heap.push(when, value[1], seq, 0, seq)
+            cal.push(when, value[1], seq, 0, seq)
         else:
             a = heap.pop()
             b = cal.pop()
@@ -79,8 +80,8 @@ def test_identical_order_across_spill_and_collapse():
         seq += 1
         when = rng.choice([rng.random() * 1000, 5.0, 5.0, 0.25])
         prio = rng.choice([0, 1])
-        heap.push(when, prio, seq, seq)
-        cal.push(when, prio, seq, seq)
+        heap.push(when, prio, seq, 0, seq)
+        cal.push(when, prio, seq, 0, seq)
     assert cal._calendar, "population above _SPILL must be in calendar mode"
     now = 0.0
     while len(heap):
@@ -94,8 +95,8 @@ def test_identical_order_across_spill_and_collapse():
         if len(heap) > 2 * CalendarEventQueue._SPILL and rng.random() < 0.4:
             seq += 1
             when = now + rng.choice([0.0, rng.random() * 100])
-            heap.push(when, 1, seq, seq)
-            cal.push(when, 1, seq, seq)
+            heap.push(when, 1, seq, 0, seq)
+            cal.push(when, 1, seq, 0, seq)
     assert not cal._calendar, "drained queue must collapse back to heap"
 
 
@@ -104,7 +105,7 @@ def test_pop_due_matches_peek_and_pop():
     for kernel in ("heap", "calendar"):
         q = make_event_queue(kernel)
         for seq in range(5000):
-            q.push(rng.random() * 100, 1, seq, seq)
+            q.push(rng.random() * 100, 1, seq, 0, seq)
         deadline = 50.0
         drained = []
         while True:
@@ -128,13 +129,13 @@ def test_infinite_times_pop_last_in_seq_order():
     inf = float("inf")
     # Force calendar mode so the _INF slot path is the one exercised.
     for seq in range(CalendarEventQueue._SPILL + 10):
-        q.push(float(seq % 97), 1, seq, ("finite", seq))
+        q.push(float(seq % 97), 1, seq, 0, ("finite", seq))
     base = CalendarEventQueue._SPILL + 10
-    q.push(inf, 1, base + 1, ("inf", 1))
-    q.push(inf, 0, base + 2, ("inf", 2))
+    q.push(inf, 1, base + 1, 0, ("inf", 1))
+    q.push(inf, 0, base + 2, 0, ("inf", 2))
     order = [q.pop() for _ in range(len(q))]
     assert order == sorted(order)
-    assert [e[3] for e in order[-2:]] == [("inf", 2), ("inf", 1)]
+    assert [e[4] for e in order[-2:]] == [("inf", 2), ("inf", 1)]
 
 
 def test_environment_trajectories_identical_across_kernels():
@@ -171,6 +172,80 @@ def test_environment_rejects_nan_and_unknown_kernel():
         Environment(kernel="fibonacci")
 
 
+class TestPackedMatchesSeedHeap:
+    """Packed-record pop order is bit-identical to the seed Event heap.
+
+    The seed kernel stored ``(when, priority, seq, event)`` tuples on a
+    plain ``heapq``; the packed kernels store ``(when, priority, seq,
+    handler_id, arg)``.  ``seq`` is unique, so comparison never reaches
+    the fourth field in either shape — the ``(when, priority, seq)``
+    key prefix popped by the packed queues must equal the seed heap's,
+    element for element.
+    """
+
+    @staticmethod
+    def _drive(ops, kernel):
+        seed_heap = []            # the seed's heapq of (when, prio, seq)
+        packed = make_event_queue(kernel)
+        seq = 0
+        now = 0.0
+        for op, (delay, prio, hid) in ops:
+            if op == "push" or not len(packed):
+                seq += 1
+                when = now + delay
+                heapq.heappush(seed_heap, (when, prio, seq))
+                packed.push(when, prio, seq, hid, ("payload", seq))
+            else:
+                entry = packed.pop()
+                assert entry[:3] == heapq.heappop(seed_heap)
+                assert entry[4] == ("payload", entry[2])
+                now = entry[0]
+        while len(packed):
+            entry = packed.pop()
+            assert entry[:3] == heapq.heappop(seed_heap)
+        assert not seed_heap
+
+    # Ties, zero-delay cascades (delay 0.0 pushed at pop time), inf,
+    # and a 1e4 spread that forces calendar width resizes; handler ids
+    # vary to prove they are opaque to ordering.
+    _DELAY_P = st.sampled_from([0.0, 0.0, 1.0, 1.0, 0.125, 1e-9, 1e4,
+                                float("inf")])
+    _HID = st.sampled_from([0, 1, 2, 7])
+
+    @given(st.lists(st.tuples(st.sampled_from(["push", "pop"]),
+                              st.tuples(_DELAY_P, _PRIO, _HID)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_property_heap_kernel(self, ops):
+        self._drive(ops, "heap")
+
+    @given(st.lists(st.tuples(st.sampled_from(["push", "pop"]),
+                              st.tuples(_DELAY_P, _PRIO, _HID)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_property_calendar_kernel(self, ops):
+        self._drive(ops, "calendar")
+
+    def test_calendar_width_resize_under_packed_storage(self):
+        """A spilled calendar that resizes its width mid-stream still
+        pops the seed heap's exact key sequence."""
+        rng = random.Random(17)
+        seed_heap = []
+        packed = CalendarEventQueue()
+        for seq in range(2 * CalendarEventQueue._SPILL):
+            # Era shift: micro-scale then hour-scale times force the
+            # occupancy band out of range -> width rebuilds.
+            when = (seq * 1e-6 if seq < CalendarEventQueue._SPILL
+                    else 1.0 + (seq % 613) * 3600.0)
+            prio = rng.choice([0, 1])
+            heapq.heappush(seed_heap, (when, prio, seq))
+            packed.push(when, prio, seq, seq % 5, None)
+        assert packed._calendar
+        while len(packed):
+            assert packed.pop()[:3] == heapq.heappop(seed_heap)
+        assert packed.resizes >= 1
+
+
 def test_calendar_resize_keeps_order_under_scale_shift():
     """Time scale shifts by 6 orders of magnitude mid-run: the width
     self-resizes (occupancy band) and order still holds."""
@@ -180,13 +255,13 @@ def test_calendar_resize_keeps_order_under_scale_shift():
     for _ in range(6000):        # microsecond-scale era
         seq += 1
         when = seq * 1e-6
-        q.push(when, 1, seq, seq)
-        heap.push(when, 1, seq, seq)
+        q.push(when, 1, seq, 0, seq)
+        heap.push(when, 1, seq, 0, seq)
     for _ in range(6000):        # hour-scale era
         seq += 1
         when = 1.0 + (seq % 613) * 3600.0
-        q.push(when, 1, seq, seq)
-        heap.push(when, 1, seq, seq)
+        q.push(when, 1, seq, 0, seq)
+        heap.push(when, 1, seq, 0, seq)
     out = [q.pop() for _ in range(len(q))]
     ref = [heap.pop() for _ in range(len(heap))]
     assert out == ref

@@ -125,6 +125,59 @@ class TestWorkloadGenerator:
         with pytest.raises(ValueError):
             WorkloadGenerator().generate(0)
 
+    def test_arrival_models_deterministic_and_monotone(self):
+        for model in ("poisson", "lognormal", "pareto", "diurnal"):
+            gen = WorkloadGenerator(seed=9, arrival_model=model)
+            a = gen.generate(50)
+            b = WorkloadGenerator(seed=9, arrival_model=model).generate(50)
+            assert a == b, model
+            arrivals = [s.arrival for s in a]
+            assert arrivals == sorted(arrivals), model
+
+    def test_arrival_models_mean_preserving(self):
+        # Every model must keep the long-run rate at 1/mean, so model
+        # sweeps compare at fixed offered load.  Heavy tails converge
+        # slowly; a wide tolerance still catches a wrong
+        # parameterisation (which is off by e^(sigma^2/2) ~ 3x for
+        # lognormal, alpha/(alpha-1) = 3x for pareto at alpha=1.5).
+        mean = 50.0
+        for model in ("poisson", "lognormal", "pareto", "diurnal"):
+            gen = WorkloadGenerator(seed=2, mean_interarrival=mean,
+                                    arrival_model=model)
+            specs = gen.generate(6000)
+            observed = specs[-1].arrival / (len(specs) - 1)
+            assert 0.6 * mean < observed < 1.6 * mean, (model, observed)
+
+    def test_heavy_tails_are_heavier_than_poisson(self):
+        def max_gap(model):
+            specs = WorkloadGenerator(seed=4, mean_interarrival=100.0,
+                                      arrival_model=model).generate(3000)
+            return max(b.arrival - a.arrival
+                       for a, b in zip(specs, specs[1:]))
+        poisson = max_gap("poisson")
+        assert max_gap("lognormal") > 2 * poisson
+        assert max_gap("pareto") > 2 * poisson
+
+    def test_arrival_model_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(arrival_model="weibull").generate(2)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(arrival_model="pareto",
+                              pareto_alpha=1.0).generate(2)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(arrival_model="lognormal",
+                              lognormal_sigma=0.0).generate(2)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(arrival_model="diurnal",
+                              diurnal_amplitude=1.5).generate(2)
+
+    def test_generate_scale_uses_arrival_model(self):
+        base = WorkloadGenerator(seed=6).generate_scale(200)
+        tail = WorkloadGenerator(
+            seed=6, arrival_model="pareto").generate_scale(200)
+        assert [s.arrival for s in base] != [s.arrival for s in tail]
+        assert all(s.kind == "synthetic" for s in tail)
+
     def test_generated_mix_runs(self):
         gen = WorkloadGenerator(seed=11, max_initial=8,
                                 mean_interarrival=5.0,
