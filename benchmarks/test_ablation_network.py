@@ -32,7 +32,7 @@ def scaling_curve(spec: MachineSpec) -> dict[int, float]:
         # bandwidth), and mixing paths would contaminate the ~zero
         # physics deltas this ablation measures with tied-event
         # micro-ordering noise (docs/phantom.md).
-        res = run_static(app, config, spec=spec,
+        res = run_static(app, config, machine_spec=spec,
                          collective_fastpath=False)
         out[config[0] * config[1]] = res.mean_iteration_time
     return out

@@ -26,7 +26,7 @@ def _measure(size: int) -> dict[int, float]:
     out: dict[int, float] = {}
     for config in PROCESSOR_CONFIGS[("LU", size)]:
         app = make_application("lu", size, iterations=1)
-        result = run_static(app, config, spec=MachineSpec())
+        result = run_static(app, config, machine_spec=MachineSpec())
         out[config[0] * config[1]] = result.mean_iteration_time
     return out
 

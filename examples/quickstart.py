@@ -1,34 +1,35 @@
 #!/usr/bin/env python
 """Quickstart: one resizable job under ReSHAPE, start to finish.
 
-Runs an LU factorization job on a simulated 16-processor cluster.  The
-job starts on 2 processors; at each resize point the Remap Scheduler
-grows it while iterations keep getting faster, detects the sweet spot
-(the first expansion that makes things worse), shrinks back, and holds.
+Runs an LU factorization job on a simulated cluster via the declarative
+facade: a :class:`repro.ScenarioSpec` describes the experiment, and
+``repro.run`` resolves it.  The job starts on 2 processors; at each
+resize point the Remap Scheduler grows it while iterations keep getting
+faster, detects the sweet spot (the first expansion that makes things
+worse), shrinks back, and holds.  A two-line ``repro.sweep`` then
+contrasts the same scenario with resizing disabled.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ReshapeFramework
+import repro
 from repro.metrics import format_table
-from repro.workloads.paper import make_application
 
 
 def main() -> None:
-    # A simulated 36-processor slice of a System X-like cluster.
-    framework = ReshapeFramework(num_processors=36)
+    # LU factorization of a 12000 x 12000 matrix, 10 outer iterations,
+    # on a 36-processor slice of a System X-like cluster.  (Phantom
+    # data: the communication schedule is real, the matrix entries are
+    # not materialized.)
+    spec = repro.ScenarioSpec(
+        kind="schedule", workload="single", app="lu", size=12000,
+        start=(1, 2), iterations=10, num_processors=36, label="lu-demo")
+    result = repro.run(spec)
 
-    # LU factorization of a 12000 x 12000 matrix, 10 outer iterations.
-    # (Phantom data: the communication schedule is real, the matrix
-    # entries are not materialized.)
-    app = make_application("lu", 12000, iterations=10)
-    job = framework.submit(app, config=(1, 2), name="lu-demo")
-
-    framework.run()
-
+    _name, log = result.iteration_logs[0]
     rows = []
     prev = None
-    for iteration, config, t, redist in job.iteration_log:
+    for iteration, config, t, redist in log:
         procs = config[0] * config[1]
         rows.append([iteration, f"{config[0]}x{config[1]}", procs, t,
                      None if prev is None else prev - t, redist])
@@ -36,10 +37,24 @@ def main() -> None:
     print(format_table(
         ["iter", "grid", "procs", "time (s)", "dT (s)", "redist (s)"],
         rows, title="LU(12000) under ReSHAPE dynamic resizing"))
-    print(f"\njob state: {job.state.value}")
-    print(f"turn-around time: {job.turnaround:.1f} s")
-    print(f"total redistribution overhead: {job.redistribution_time:.1f} s")
-    print(f"cluster utilization: {framework.utilization():.1%}")
+
+    _job, _size, _arrival, turnaround, redist_time = result.job_stats[0]
+    print(f"\njob state: "
+          f"{'finished' if turnaround is not None else 'error'}")
+    print(f"turn-around time: {turnaround:.1f} s")
+    print(f"total redistribution overhead: {redist_time:.1f} s")
+    print(f"cluster utilization: {result.utilization:.1%}")
+
+    # The same experiment with resizing off, as a two-scenario sweep
+    # (specs are values: .but() copies with fields replaced).
+    sweep = repro.sweep([spec, spec.but(dynamic=False,
+                                        label="lu-demo-static")],
+                        max_workers=1)
+    dyn, static = sweep.scenarios
+    (dyn_ta,), (static_ta,) = (dyn.turnarounds.values(),
+                               static.turnarounds.values())
+    print(f"\ndynamic vs static turn-around: "
+          f"{dyn_ta:.1f} s vs {static_ta:.1f} s")
 
 
 if __name__ == "__main__":

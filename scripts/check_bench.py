@@ -30,10 +30,20 @@ import json
 import pathlib
 import sys
 
-#: file -> list of (dotted metric path, direction).  ``higher`` means
-#: the metric is a speedup (regression = falling below baseline);
-#: ``lower`` would gate a raw time (regression = rising above).
-TRACKED: dict[str, list[tuple[str, str]]] = {
+#: file -> list of tracked-metric entries.  Baseline-relative entries,
+#: ``(path, "higher")`` / ``(path, "lower")``, compare against the
+#: committed baseline with the tolerance; ``higher`` means the metric
+#: is a speedup (regression = falling below baseline), ``lower`` gates
+#: a raw time.  Absolute entries need no baseline value:
+#: ``(path, "within", lo, hi)`` gates a band (the paper's 4.5-14.5x
+#: checkpoint ratio), ``(path, "atleast", x)`` a floor, and
+#: ``(path, "flag")`` requires a literal ``true``.
+#:
+#: A metric recorded as an explicit JSON ``null`` is skipped with a
+#: notice — the producer measured it as unavailable on this host (e.g.
+#: parallel speedup on a single-core runner) — while a *missing* key
+#: still fails: silence is a broken producer, null is an honest one.
+TRACKED: dict[str, list[tuple]] = {
     "BENCH_engine_smoke.json": [
         ("raw_kernel.speedup", "higher"),
         ("raw_kernel.hold.speedup", "higher"),
@@ -48,14 +58,24 @@ TRACKED: dict[str, list[tuple[str, str]]] = {
         ("speedup", "higher"),
         ("redist_delivery.speedup", "higher"),
     ],
+    "BENCH_sweep_smoke.json": [
+        ("checkpoint.ratio_min", "within", 4.5, 14.5),
+        ("checkpoint.ratio_max", "within", 4.5, 14.5),
+        ("checkpoint.in_band", "flag"),
+        ("parallel.bit_identical", "flag"),
+        ("parallel.speedup", "atleast", 1.7),
+    ],
 }
 
+#: Sentinel distinguishing a missing key from an explicit JSON null.
+MISSING = object()
 
-def lookup(data: dict, path: str):
+
+def lookup(data: dict, path: str, default=None):
     node = data
     for part in path.split("."):
         if not isinstance(node, dict) or part not in node:
-            return None
+            return default
         node = node[part]
     return node
 
@@ -74,25 +94,46 @@ def check_file(name: str, metrics, results_dir: pathlib.Path,
         return failures
     baseline = json.loads(baseline_path.read_text())
     result = json.loads(result_path.read_text())
-    for path, direction in metrics:
-        base = lookup(baseline, path)
-        cand = lookup(result, path)
-        if base is None:
-            print(f"  {name}:{path}: not in baseline — skipped")
-            continue
-        if cand is None:
+    for entry in metrics:
+        path, direction = entry[0], entry[1]
+        base = None
+        if direction in ("higher", "lower"):
+            base = lookup(baseline, path)
+            if base is None:
+                print(f"  {name}:{path}: not in baseline — skipped")
+                continue
+        cand = lookup(result, path, MISSING)
+        if cand is MISSING:
             failures.append(f"{name}:{path}: missing from results")
             continue
-        if direction == "higher":
-            floor = base * (1.0 - tolerance)
+        if cand is None:
+            reason = lookup(result, f"{path}_skipped") or "recorded null"
+            print(f"  skip {name}:{path}: {reason}")
+            continue
+        if direction in ("higher", "lower"):
+            if direction == "higher":
+                floor = base * (1.0 - tolerance)
+                ok = cand >= floor
+                verdict = (f"{cand:.3f} vs baseline {base:.3f} "
+                           f"(floor {floor:.3f})")
+            else:
+                ceiling = base * (1.0 + tolerance)
+                ok = cand <= ceiling
+                verdict = (f"{cand:.3f} vs baseline {base:.3f} "
+                           f"(ceiling {ceiling:.3f})")
+        elif direction == "within":
+            lo, hi = entry[2], entry[3]
+            ok = lo <= cand <= hi
+            verdict = f"{cand:.3f} vs band [{lo:g}, {hi:g}]"
+        elif direction == "atleast":
+            floor = entry[2]
             ok = cand >= floor
-            verdict = (f"{cand:.3f} vs baseline {base:.3f} "
-                       f"(floor {floor:.3f})")
-        else:
-            ceiling = base * (1.0 + tolerance)
-            ok = cand <= ceiling
-            verdict = (f"{cand:.3f} vs baseline {base:.3f} "
-                       f"(ceiling {ceiling:.3f})")
+            verdict = f"{cand:.3f} vs floor {floor:g}"
+        elif direction == "flag":
+            ok = cand is True
+            verdict = f"{cand!r} (must be true)"
+        else:  # pragma: no cover - a typo in TRACKED
+            raise ValueError(f"unknown direction {direction!r}")
         marker = "ok  " if ok else "FAIL"
         print(f"  {marker} {name}:{path}: {verdict}")
         if not ok:

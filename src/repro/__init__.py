@@ -1,8 +1,21 @@
 """ReSHAPE reproduction: dynamic resizing and scheduling of parallel
 applications on a simulated distributed-memory cluster.
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module map.  Top-level conveniences:
+See README.md for the architecture overview and docs/sweep.md for the
+declarative experiment API.  Top-level conveniences:
+
+>>> import repro
+>>> spec = repro.ScenarioSpec(kind="schedule", workload="w1")
+>>> result = repro.run(spec)                    # one scenario
+>>> grid = [spec, spec.but(dynamic=False)]
+>>> sweep = repro.sweep(grid, max_workers=2)    # a grid, in parallel
+>>> sweep.scenarios[0].turnarounds
+{...}
+
+Scenario specs are frozen, picklable and JSON-round-trippable
+(``ScenarioSpec.from_dict`` / ``to_dict``), so grids can be literal
+dicts or live in JSON files; ``repro.run``/``repro.sweep`` accept both
+specs and dicts.  The imperative surface is still available:
 
 >>> from repro import ReshapeFramework, make_application
 >>> fw = ReshapeFramework(num_processors=36)
@@ -10,9 +23,54 @@ paper-to-module map.  Top-level conveniences:
 >>> fw.run()
 """
 
+from typing import Optional, Sequence, Union
+
 from repro.core.framework import ReshapeFramework
-from repro.workloads.paper import make_application
+from repro.sweep.resolver import run_scenario
+from repro.sweep.runner import SweepResult, SweepRunner, sweep_scenarios
+from repro.sweep.spec import (
+    ScenarioError,
+    ScenarioOutcome,
+    ScenarioResult,
+    ScenarioSpec,
+)
+from repro.workloads.paper import JobSpec, make_application
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["ReshapeFramework", "make_application", "__version__"]
+
+def run(spec: Union[ScenarioSpec, dict]) -> ScenarioResult:
+    """Run one declarative scenario (spec or JSON-safe dict)."""
+    return run_scenario(spec)
+
+
+def sweep(specs: Sequence[Union[ScenarioSpec, dict]], *,
+          max_workers: Optional[int] = None,
+          timeout: Optional[float] = None,
+          **runner_kwargs) -> SweepResult:
+    """Fan a grid of scenarios across worker processes and merge.
+
+    ``max_workers=None`` uses every core; ``1`` runs in-process.  This
+    function shadows the :mod:`repro.sweep` package as an attribute of
+    ``repro`` on purpose — ``from repro.sweep import ...`` still
+    imports the package.
+    """
+    return sweep_scenarios(specs, max_workers=max_workers,
+                           timeout=timeout, **runner_kwargs)
+
+
+__all__ = [
+    "JobSpec",
+    "ReshapeFramework",
+    "ScenarioError",
+    "ScenarioOutcome",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepResult",
+    "SweepRunner",
+    "__version__",
+    "make_application",
+    "run",
+    "run_scenario",
+    "sweep",
+]

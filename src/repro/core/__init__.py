@@ -16,9 +16,14 @@ from repro.core.events import ConfigChange, JobTimeline, TimelineRecorder
 from repro.core.framework import ReshapeFramework
 from repro.core.job import Job, JobState
 from repro.core.policies import (
+    EXPANSION_POLICIES,
+    SWEET_SPOT_POLICIES,
     ExpansionPolicy,
+    GreedyExpansionPolicy,
     SweetSpotPolicy,
     ThresholdSweetSpot,
+    make_expansion,
+    make_sweet_spot,
 )
 from repro.core.pool import ProcessorPool, ReservationLedger
 from repro.core.profiler import PerformanceProfiler
@@ -27,7 +32,9 @@ from repro.core.remap import RemapDecision, RemapScheduler
 
 __all__ = [
     "ConfigChange",
+    "EXPANSION_POLICIES",
     "ExpansionPolicy",
+    "GreedyExpansionPolicy",
     "Job",
     "JobQueue",
     "JobState",
@@ -39,8 +46,11 @@ __all__ = [
     "ReservationLedger",
     "ReshapeFramework",
     "ScanJobQueue",
+    "SWEET_SPOT_POLICIES",
     "SweetSpotPolicy",
     "ThresholdSweetSpot",
     "TimelineRecorder",
+    "make_expansion",
     "make_job_queue",
+    "make_sweet_spot",
 ]

@@ -14,7 +14,8 @@ Table 4/5 comparisons are apples-to-apples.
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import Optional, Union
 
 from repro.apps.base import Application
 from repro.blacs import ProcessGrid
@@ -22,7 +23,12 @@ from repro.cluster.machine import Machine, MachineSpec
 from repro.core.events import TimelineRecorder
 from repro.core.job import Job, JobState
 from repro.core.monitor import SystemMonitor
-from repro.core.policies import ExpansionPolicy, SweetSpotPolicy
+from repro.core.policies import (
+    ExpansionPolicy,
+    SweetSpotPolicy,
+    resolve_expansion,
+    resolve_sweet_spot,
+)
 from repro.core.pool import ProcessorPool, ReservationLedger
 from repro.core.profiler import PerformanceProfiler
 from repro.core.queue import make_job_queue
@@ -36,19 +42,28 @@ class ReshapeFramework:
 
     def __init__(self, *,
                  env: Optional[Environment] = None,
-                 spec: Optional[MachineSpec] = None,
+                 machine_spec: Optional[MachineSpec] = None,
                  machine: Optional[Machine] = None,
                  num_processors: Optional[int] = None,
                  dynamic: bool = True,
                  backfill: bool = True,
                  scheduler: str = "indexed",
                  direct_execution: bool = True,
-                 sweet_spot: Optional[SweetSpotPolicy] = None,
-                 expansion: Optional[ExpansionPolicy] = None,
+                 sweet_spot: Union[SweetSpotPolicy, str, None] = None,
+                 expansion: Union[ExpansionPolicy, str, None] = None,
                  redistribution_method: str = "reshape",
-                 rpc_latency: float = 2e-3):
+                 rpc_latency: float = 2e-3,
+                 spec: Optional[MachineSpec] = None):
+        if spec is not None:
+            # One-release shim: ``spec=`` predates the declarative
+            # ScenarioSpec layer, where "spec" now means the scenario.
+            warnings.warn("ReshapeFramework(spec=...) is deprecated; "
+                          "pass machine_spec=...", DeprecationWarning,
+                          stacklevel=2)
+            machine_spec = machine_spec if machine_spec is not None else spec
         self.env = env or Environment()
-        self.machine = machine or Machine(self.env, spec or MachineSpec())
+        self.machine = machine or Machine(self.env,
+                                          machine_spec or MachineSpec())
         total = num_processors or self.machine.total_processors
         if total > self.machine.total_processors:
             raise ValueError("num_processors exceeds the machine")
@@ -61,8 +76,8 @@ class ReshapeFramework:
         self.profiler = PerformanceProfiler()
         self.remap = RemapScheduler(self.pool, self.queue, self.profiler,
                                     max_procs=total, dynamic=dynamic,
-                                    sweet_spot=sweet_spot,
-                                    expansion=expansion,
+                                    sweet_spot=resolve_sweet_spot(sweet_spot),
+                                    expansion=resolve_expansion(expansion),
                                     ledger=self.ledger)
         self.monitor = SystemMonitor(self.pool,
                                      on_resources_freed=self._wake)
@@ -246,6 +261,17 @@ class ReshapeFramework:
         self.monitor.job_failed(job, self.env.now, error=error)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(cls, spec) -> "ReshapeFramework":
+        """Build a framework from a declarative ScenarioSpec.
+
+        Delegates to the sweep resolver so every construction path —
+        CLI, benchmarks, library callers — shares one description.
+        (Lazy import: ``repro.sweep`` depends on this module.)
+        """
+        from repro.sweep.resolver import build_framework
+        return build_framework(spec)
+
     def run(self, until: Optional[float] = None) -> None:
         """Run the experiment to completion (or to ``until``)."""
         self.env.run(until=until)

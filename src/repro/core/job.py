@@ -12,6 +12,21 @@ from repro.apps.base import Application
 _job_ids = itertools.count(1)
 
 
+def reset_job_ids(start: int = 1) -> None:
+    """Restart the process-global job-id counter.
+
+    Job ids are only required to be unique within one experiment, but
+    they appear in recorded timelines — so two runs of the same
+    scenario produce bit-identical timelines only if both start from
+    the same counter.  The sweep resolver calls this at scenario entry,
+    making ``run_scenario`` a pure function of its spec regardless of
+    how many experiments the hosting process ran before (single-threaded
+    simulation; never call it while a framework is mid-run).
+    """
+    global _job_ids
+    _job_ids = itertools.count(start)
+
+
 class JobState(enum.Enum):
     PENDING = "pending"        # submitted, not yet arrived
     QUEUED = "queued"          # waiting for processors

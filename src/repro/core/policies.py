@@ -10,16 +10,23 @@ The paper also sketches "a more sophisticated sweet spot detection
 algorithm (under development) which uses performance over several
 configurations to detect relative improvements below some required
 threshold" — implemented here as :class:`ThresholdSweetSpot`.
+
+Policies are frozen dataclasses: stateless (or parameterized by plain
+numbers), picklable, ``__eq__``/``__repr__``-stable, and constructible
+from registry names (``make_sweet_spot("threshold", threshold=0.05)``)
+so a :class:`~repro.sweep.ScenarioSpec` can name them declaratively.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 from repro.cluster.topology import next_larger_config
 from repro.core.profiler import PerformanceProfiler
 
 
+@dataclass(frozen=True)
 class SweetSpotPolicy:
     """The paper's simple rule: any improvement justifies growing."""
 
@@ -63,6 +70,7 @@ class SweetSpotPolicy:
         return "simple"
 
 
+@dataclass(frozen=True)
 class ThresholdSweetSpot(SweetSpotPolicy):
     """Expansion must beat the previous configuration by a margin.
 
@@ -70,10 +78,11 @@ class ThresholdSweetSpot(SweetSpotPolicy):
     configuration must be at least 5% faster to be kept.
     """
 
-    def __init__(self, threshold: float = 0.05):
-        if threshold < 0:
+    threshold: float = 0.05
+
+    def __post_init__(self):
+        if self.threshold < 0:
             raise ValueError("threshold must be non-negative")
-        self.threshold = threshold
 
     def _improved(self, before: float, after: float) -> bool:
         return after < before * (1.0 - self.threshold)
@@ -83,6 +92,7 @@ class ThresholdSweetSpot(SweetSpotPolicy):
         return f"threshold({self.threshold:g})"
 
 
+@dataclass(frozen=True)
 class ExpansionPolicy:
     """Chooses the target configuration for an expansion.
 
@@ -111,6 +121,7 @@ class ExpansionPolicy:
         return "next-larger"
 
 
+@dataclass(frozen=True)
 class GreedyExpansionPolicy(ExpansionPolicy):
     """Ablation variant: jump to the largest configuration that fits."""
 
@@ -130,3 +141,52 @@ class GreedyExpansionPolicy(ExpansionPolicy):
     @property
     def name(self) -> str:
         return "greedy"
+
+
+# -- registry ---------------------------------------------------------------
+#: name -> class, for declarative construction from a ScenarioSpec.
+SWEET_SPOT_POLICIES: dict[str, type[SweetSpotPolicy]] = {
+    "simple": SweetSpotPolicy,
+    "threshold": ThresholdSweetSpot,
+}
+
+EXPANSION_POLICIES: dict[str, type[ExpansionPolicy]] = {
+    "next-larger": ExpansionPolicy,
+    "greedy": GreedyExpansionPolicy,
+}
+
+
+def make_sweet_spot(name: str, **params) -> SweetSpotPolicy:
+    """Build a sweet-spot policy from its registry name and parameters."""
+    try:
+        cls = SWEET_SPOT_POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown sweet-spot policy {name!r}; known: "
+                         f"{sorted(SWEET_SPOT_POLICIES)}") from None
+    return cls(**params)
+
+
+def make_expansion(name: str, **params) -> ExpansionPolicy:
+    """Build an expansion policy from its registry name and parameters."""
+    try:
+        cls = EXPANSION_POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown expansion policy {name!r}; known: "
+                         f"{sorted(EXPANSION_POLICIES)}") from None
+    return cls(**params)
+
+
+def resolve_sweet_spot(policy: Union[SweetSpotPolicy, str, None]
+                       ) -> Optional[SweetSpotPolicy]:
+    """Accept a policy instance, a registry name, or None."""
+    if policy is None or isinstance(policy, SweetSpotPolicy):
+        return policy
+    return make_sweet_spot(policy)
+
+
+def resolve_expansion(policy: Union[ExpansionPolicy, str, None]
+                      ) -> Optional[ExpansionPolicy]:
+    """Accept a policy instance, a registry name, or None."""
+    if policy is None or isinstance(policy, ExpansionPolicy):
+        return policy
+    return make_expansion(policy)

@@ -1,0 +1,204 @@
+"""The pure resolver: ``run_scenario(spec) -> ScenarioResult``.
+
+One function turns a declarative :class:`~repro.sweep.spec.ScenarioSpec`
+into plain-data results, building every live object (environment,
+machine, framework, applications, policies) from the spec alone.  The
+CLI, the benchmarks, ``ReshapeFramework.from_scenario`` and the sweep
+workers all construct through here, so an experiment is reproducible
+from its printed spec regardless of which surface launched it.
+
+Determinism contract: ``run_scenario`` is a pure function of its spec —
+same spec, same process or a fresh worker process, bit-identical
+:class:`ScenarioResult` (``wall_time`` excluded).  The one piece of
+process-global state that could leak between experiments, the job-id
+counter, is reset at scenario entry (:func:`repro.core.job.reset_job_ids`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.core.job import reset_job_ids
+from repro.core.policies import make_expansion, make_sweet_spot
+from repro.sweep.spec import ScenarioResult, ScenarioSpec
+from repro.workloads.paper import (
+    WORKLOAD1,
+    WORKLOAD1_PROCESSORS,
+    WORKLOAD2,
+    WORKLOAD2_PROCESSORS,
+    JobSpec,
+    make_application,
+)
+
+#: Default processor budget of the named paper workloads.
+_WORKLOAD_PROCESSORS = {"w1": WORKLOAD1_PROCESSORS,
+                        "w2": WORKLOAD2_PROCESSORS}
+
+
+def _spec_of(spec: Union[ScenarioSpec, dict]) -> ScenarioSpec:
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    return ScenarioSpec.from_dict(spec)
+
+
+def build_environment(spec: ScenarioSpec):
+    from repro.simulate import Environment
+    return Environment(kernel=spec.kernel)
+
+
+def scenario_jobs(spec: ScenarioSpec) -> list[JobSpec]:
+    """The workload of a kind="schedule" scenario, as JobSpec rows."""
+    if spec.workload == "w1":
+        return list(WORKLOAD1)
+    if spec.workload == "w2":
+        return list(WORKLOAD2)
+    if spec.workload == "jobs":
+        return list(spec.jobs)
+    if spec.workload == "single":
+        return [JobSpec(kind=spec.app, problem_size=spec.size,
+                        initial_config=spec.start, arrival=0.0)]
+    if spec.workload == "synthetic":
+        from repro.workloads.generator import WorkloadGenerator
+        gen = WorkloadGenerator(seed=spec.seed,
+                                mean_interarrival=spec.mean_interarrival,
+                                max_initial=spec.max_initial,
+                                arrival_model=spec.arrival_model)
+        return gen.generate(spec.num_jobs)
+    raise ValueError(f"unknown workload {spec.workload!r}")
+
+
+def scenario_processors(spec: ScenarioSpec) -> Optional[int]:
+    """Processor budget: explicit, workload default, or whole machine."""
+    if spec.num_processors is not None:
+        return spec.num_processors
+    return _WORKLOAD_PROCESSORS.get(spec.workload)
+
+
+def build_framework(spec: Union[ScenarioSpec, dict], *, env=None):
+    """A ReshapeFramework configured exactly as the spec describes."""
+    from repro.core.framework import ReshapeFramework
+    spec = _spec_of(spec)
+    return ReshapeFramework(
+        env=env or build_environment(spec),
+        machine_spec=spec.machine,
+        num_processors=scenario_processors(spec),
+        dynamic=spec.dynamic,
+        backfill=spec.backfill,
+        scheduler=spec.scheduler,
+        sweet_spot=make_sweet_spot(spec.sweet_spot,
+                                   **dict(spec.sweet_spot_params)),
+        expansion=make_expansion(spec.expansion,
+                                 **dict(spec.expansion_params)),
+        redistribution_method=spec.redistribution_method,
+    )
+
+
+# ---------------------------------------------------------------------------
+def run_scenario(spec: Union[ScenarioSpec, dict]) -> ScenarioResult:
+    """Run one scenario to completion; returns plain-data results."""
+    spec = _spec_of(spec)
+    t0 = time.perf_counter()
+    reset_job_ids()
+    if spec.kind == "schedule":
+        result = _run_schedule(spec)
+    elif spec.kind == "static":
+        result = _run_static(spec)
+    elif spec.kind == "redist":
+        result = _run_redist(spec)
+    else:  # pragma: no cover - __post_init__ rejects unknown kinds
+        raise ValueError(f"unknown scenario kind {spec.kind!r}")
+    object.__setattr__(result, "wall_time", time.perf_counter() - t0)
+    return result
+
+
+def _run_schedule(spec: ScenarioSpec) -> ScenarioResult:
+    env = build_environment(spec)
+    fw = build_framework(spec, env=env)
+    for js in scenario_jobs(spec):
+        app = js.build(iterations=spec.iterations)
+        fw.submit(app, js.initial_config, arrival=js.arrival, name=js.name)
+    fw.run()
+
+    timeline = tuple((c.time, c.job_id, c.job_name, c.nprocs,
+                      c.config, c.reason) for c in fw.timeline.changes)
+    job_stats = tuple((j.name, j.requested_size, j.arrival_time,
+                       j.turnaround, j.redistribution_time)
+                      for j in fw.jobs)
+    iteration_logs = tuple(
+        (j.name, tuple((it, tuple(cfg), t, rd)
+                       for it, cfg, t, rd in j.iteration_log))
+        for j in fw.jobs)
+    turnarounds = [ta for _n, _s, _a, ta, _r in job_stats if ta is not None]
+    metrics = (
+        ("jobs", float(len(fw.jobs))),
+        ("completed", float(len(turnarounds))),
+        ("errors", float(len(fw.timeline.endings("error")))),
+        ("mean_turnaround",
+         sum(turnarounds) / len(turnarounds) if turnarounds else 0.0),
+        ("total_redistribution",
+         sum(rd for _n, _s, _a, _t, rd in job_stats)),
+    )
+    return ScenarioResult(spec=spec, timeline=timeline,
+                          job_stats=job_stats,
+                          iteration_logs=iteration_logs,
+                          utilization=fw.utilization(),
+                          makespan=fw.timeline.makespan(),
+                          simulated_time=env.now, metrics=metrics)
+
+
+def _run_static(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.api.standalone import run_static
+    env = build_environment(spec)
+    app = make_application(spec.app, spec.size, iterations=spec.iterations)
+    res = run_static(app, spec.start, env=env, machine_spec=spec.machine)
+    rows = tuple((i, spec.start, t, 0.0)
+                 for i, t in enumerate(res.iteration_times, 1))
+    metrics = (
+        ("mean_iteration_time", res.mean_iteration_time),
+        ("total_time", res.total_time),
+    )
+    return ScenarioResult(spec=spec,
+                          iteration_logs=((app.name, rows),),
+                          makespan=res.total_time,
+                          simulated_time=env.now, metrics=metrics)
+
+
+def _run_redist(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.blacs import ProcessGrid
+    from repro.cluster.machine import Machine
+    from repro.darray import Descriptor, DistributedMatrix
+    from repro.mpi import World
+    from repro.redist import checkpoint_redistribute, redistribute
+
+    env = build_environment(spec)
+    machine = Machine(env, spec.machine)
+    world = World(env, machine, launch_overhead=0.0)
+    old_grid = ProcessGrid(*spec.start)
+    new_grid = ProcessGrid(*spec.target)
+    desc = Descriptor(m=spec.size, n=spec.size,
+                      mb=spec.block, nb=spec.block, grid=old_grid)
+    dm = DistributedMatrix(desc, materialized=False)
+    out: dict = {}
+
+    def main(comm):
+        if spec.redistribution_method == "checkpoint":
+            res = yield from checkpoint_redistribute(comm, dm, new_grid)
+        else:
+            res = yield from redistribute(comm, dm, new_grid)
+        if comm.rank == 0:
+            out["res"] = res
+
+    nprocs = max(old_grid.size, new_grid.size)
+    world.launch(main, processors=list(range(nprocs)),
+                 name=spec.name)
+    env.run()
+    res = out["res"]
+    metrics = (
+        ("elapsed", res.elapsed),
+        ("wire_bytes", float(res.total_bytes_moved)),
+        ("payload_nbytes", float(res.payload_nbytes)),
+        ("messages", float(res.messages)),
+    )
+    return ScenarioResult(spec=spec, makespan=res.elapsed,
+                          simulated_time=env.now, metrics=metrics)

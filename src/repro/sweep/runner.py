@@ -1,0 +1,306 @@
+"""SweepRunner: fan a grid of scenarios across worker processes.
+
+The shape follows the nengo-mpi master/worker split: a master process
+partitions the work (here: whole scenarios — experiments are
+embarrassingly parallel), workers resolve specs with the pure
+:func:`~repro.sweep.resolver.run_scenario`, and the master merges the
+per-scenario results into one tabular set.
+
+Guarantees:
+
+* **Deterministic merge order.**  Results come back in *spec order*, no
+  matter which worker finished first — a sweep is a pure function of
+  its spec list.
+* **Crash containment.**  A worker that dies (segfault, ``os._exit``,
+  OOM-kill) kills its whole pool, so every in-flight scenario is a
+  suspect; each is retried once, isolated on a fresh single-worker
+  pool, where innocents complete normally and the actual culprit is
+  recorded as a structured :class:`ScenarioError` with
+  ``phase="crash"`` — and the sweep completes.  Clean Python
+  exceptions become ``phase="error"`` results immediately (they are
+  deterministic — retrying them would reproduce the failure).
+* **Timeout containment.**  With ``timeout=T``, a scenario still
+  running T seconds after submission is abandoned as
+  ``phase="timeout"`` (its worker finishes in the background; the slot
+  is not reclaimed early — document long tails in the spec, or shard
+  them).
+* **Bounded submission.**  At most ``max_workers * chunk_factor``
+  scenarios are in flight, so million-cell grids do not materialize a
+  million pickled futures at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+from repro.sweep.resolver import run_scenario
+from repro.sweep.spec import (
+    ScenarioError,
+    ScenarioOutcome,
+    ScenarioResult,
+    ScenarioSpec,
+)
+
+
+class _PoolBroken(Exception):
+    """Internal: the process pool died; rebuild and continue."""
+
+
+@dataclass
+class SweepResult:
+    """All scenario outcomes of one sweep, in spec order."""
+
+    results: list[ScenarioOutcome]
+    wall_time: float = 0.0
+    workers: int = 1
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __getitem__(self, idx):
+        return self.results[idx]
+
+    @property
+    def scenarios(self) -> list[ScenarioResult]:
+        """Successful results only, still in spec order."""
+        return [r for r in self.results if r.ok]
+
+    @property
+    def errors(self) -> list[ScenarioError]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def rows(self) -> list[list]:
+        """Merged tabular view: one row per (scenario, job).
+
+        Columns: scenario name, job, turnaround (s), redistribution
+        (s), utilization, makespan (s).  Scenario kinds without jobs
+        (static/redist) contribute one row with the job column empty.
+        """
+        out: list[list] = []
+        for res in self.results:
+            if not res.ok:
+                out.append([res.name, f"<{res.phase}: {res.error}>",
+                            None, None, None, None])
+                continue
+            if res.job_stats:
+                for name, _size, _arrival, ta, rd in res.job_stats:
+                    out.append([res.name, name, ta, rd,
+                                res.utilization, res.makespan])
+            else:
+                out.append([res.name, "", None, None,
+                            res.utilization, res.makespan])
+        return out
+
+    def metrics_dict(self) -> dict[str, dict[str, float]]:
+        """Per-scenario metric scalars, keyed by scenario name."""
+        return {res.name: dict(res.metrics)
+                for res in self.results if res.ok}
+
+
+class SweepRunner:
+    """Run scenario grids serially or across a process pool.
+
+    ``max_workers=1`` (or a one-element grid) runs in-process — no
+    pickling, no pool — with identical results and error structure.
+    ``task`` is the module-level callable each worker runs (default
+    :func:`run_scenario`); tests substitute crash/sleep harnesses.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 timeout: Optional[float] = None,
+                 chunk_factor: int = 2,
+                 mp_context: Optional[str] = None,
+                 task: Callable[[ScenarioSpec], ScenarioResult]
+                 = run_scenario):
+        cpus = multiprocessing.cpu_count()
+        self.max_workers = max_workers if max_workers else cpus
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.timeout = timeout
+        if chunk_factor < 1:
+            raise ValueError("chunk_factor must be positive")
+        self.chunk_factor = chunk_factor
+        #: "fork" keeps task functions picklable by reference (and is
+        #: available on the platforms CI runs); fall back to the
+        #: platform default elsewhere.
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else None
+        self._ctx = (multiprocessing.get_context(mp_context)
+                     if mp_context else multiprocessing.get_context())
+        self.task = task
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[Union[ScenarioSpec, dict]]) -> SweepResult:
+        specs = [s if isinstance(s, ScenarioSpec)
+                 else ScenarioSpec.from_dict(s) for s in specs]
+        t0 = time.perf_counter()
+        if self.max_workers == 1 or len(specs) <= 1:
+            results = self._run_serial(specs)
+            workers = 1
+        else:
+            results = self._run_parallel(specs)
+            workers = min(self.max_workers, len(specs))
+        return SweepResult(results=results,
+                           wall_time=time.perf_counter() - t0,
+                           workers=workers)
+
+    def run_serial(self, specs: Sequence[Union[ScenarioSpec, dict]]
+                   ) -> SweepResult:
+        """In-process execution regardless of ``max_workers``."""
+        specs = [s if isinstance(s, ScenarioSpec)
+                 else ScenarioSpec.from_dict(s) for s in specs]
+        t0 = time.perf_counter()
+        return SweepResult(results=self._run_serial(specs),
+                           wall_time=time.perf_counter() - t0, workers=1)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs: list[ScenarioSpec]
+                    ) -> list[ScenarioOutcome]:
+        results: list[ScenarioOutcome] = []
+        for spec in specs:
+            try:
+                results.append(self.task(spec))
+            except Exception as exc:
+                results.append(ScenarioError(
+                    spec=spec, error=f"{type(exc).__name__}: {exc}",
+                    phase="error", traceback=traceback.format_exc()))
+        return results
+
+    def _run_parallel(self, specs: list[ScenarioSpec]
+                      ) -> list[ScenarioOutcome]:
+        results: dict[int, ScenarioOutcome] = {}
+        #: (index, spec, attempt) still to run; attempt counts pool
+        #: crashes only — a scenario gets one retry after a crash.
+        queue: deque[tuple[int, ScenarioSpec, int]] = deque(
+            (i, spec, 0) for i, spec in enumerate(specs))
+        while queue:
+            # A dying worker kills the whole pool, taking innocent
+            # in-flight scenarios with it, so a crash cannot be
+            # attributed while batched.  Retries therefore run one at a
+            # time on their own pool: an innocent casualty completes
+            # there; a scenario whose solo pool also dies is the
+            # culprit and is recorded as phase="crash".
+            if queue[0][2] > 0:
+                batch = deque([queue.popleft()])
+            else:
+                batch = deque()
+                while queue and queue[0][2] == 0:
+                    batch.append(queue.popleft())
+            workers = min(self.max_workers, len(batch))
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=self._ctx)
+            try:
+                self._drain(pool, batch, results)
+            except _PoolBroken:
+                pass  # rebuild the pool; batch already holds retries
+            finally:
+                # Never wait on abandoned (timed-out) workers; completed
+                # futures already delivered their results.
+                pool.shutdown(wait=False, cancel_futures=True)
+            # Unfinished work (and _crashed() requeues) goes back to
+            # the front, retries first, for the next pool.
+            while batch:
+                queue.appendleft(batch.pop())
+            queue = deque(sorted(queue, key=lambda item: -item[2]))
+        return [results[i] for i in range(len(specs))]
+
+    def _drain(self, pool: ProcessPoolExecutor,
+               queue: deque, results: dict) -> None:
+        window = self.max_workers * self.chunk_factor
+        inflight: dict = {}  # future -> (idx, spec, attempt, t_submit)
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < window:
+                    idx, spec, attempt = queue.popleft()
+                    fut = pool.submit(self.task, spec)
+                    inflight[fut] = (idx, spec, attempt, time.monotonic())
+                done, _ = wait(list(inflight),
+                               return_when=FIRST_COMPLETED,
+                               timeout=0.05 if self.timeout else None)
+                broken = False
+                for fut in done:
+                    idx, spec, attempt, _t = inflight.pop(fut)
+                    try:
+                        results[idx] = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._crashed(queue, results, idx, spec, attempt)
+                    except Exception as exc:
+                        # A clean exception in the worker is
+                        # deterministic: record it, don't retry.
+                        results[idx] = ScenarioError(
+                            spec=spec,
+                            error=f"{type(exc).__name__}: {exc}",
+                            phase="error",
+                            traceback=traceback.format_exc())
+                if broken:
+                    raise _PoolBroken
+                if self.timeout:
+                    now = time.monotonic()
+                    for fut in list(inflight):
+                        idx, spec, attempt, t_submit = inflight[fut]
+                        if now - t_submit > self.timeout:
+                            fut.cancel()
+                            inflight.pop(fut)
+                            results[idx] = ScenarioError(
+                                spec=spec, phase="timeout",
+                                error=(f"scenario exceeded the "
+                                       f"{self.timeout:g}s timeout"),
+                                attempts=attempt + 1)
+        except (_PoolBroken, BrokenProcessPool):
+            # The pool died (detected via a result, or at submit time).
+            # Salvage any in-flight future that still completed; retry
+            # or record the rest.
+            for fut, (idx, spec, attempt, _t) in inflight.items():
+                exc = None
+                try:
+                    if fut.done():
+                        exc = fut.exception()
+                        if exc is None:
+                            results[idx] = fut.result()
+                            continue
+                except Exception:
+                    exc = None  # cancelled: treat as died with the pool
+                if exc is not None and not isinstance(exc,
+                                                     BrokenProcessPool):
+                    results[idx] = ScenarioError(
+                        spec=spec, error=f"{type(exc).__name__}: {exc}",
+                        phase="error")
+                else:
+                    self._crashed(queue, results, idx, spec, attempt)
+            raise _PoolBroken from None
+
+    def _crashed(self, queue: deque, results: dict,
+                 idx: int, spec: ScenarioSpec, attempt: int) -> None:
+        """A worker died mid-scenario: retry once, then record."""
+        if attempt == 0:
+            queue.append((idx, spec, 1))
+        else:
+            results[idx] = ScenarioError(
+                spec=spec, phase="crash", attempts=attempt + 1,
+                error="worker process died (crash or kill) twice; "
+                      "giving up on this scenario")
+
+
+def sweep_scenarios(specs: Sequence[Union[ScenarioSpec, dict]], *,
+                    max_workers: Optional[int] = None,
+                    timeout: Optional[float] = None,
+                    **runner_kwargs) -> SweepResult:
+    """One-call sweep: build a runner, fan out, merge (the facade)."""
+    runner = SweepRunner(max_workers, timeout=timeout, **runner_kwargs)
+    return runner.run(specs)

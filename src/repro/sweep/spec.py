@@ -1,0 +1,276 @@
+"""Declarative experiment descriptions: ScenarioSpec and result records.
+
+A :class:`ScenarioSpec` is a frozen, picklable, JSON-round-trippable
+value object describing one complete experiment — machine, workload,
+policies, seed, engine kernel — with no live objects inside.  The pure
+resolver :func:`repro.sweep.resolver.run_scenario` turns a spec into a
+:class:`ScenarioResult`; :class:`repro.sweep.runner.SweepRunner` fans
+grids of specs across worker processes.
+
+Three scenario kinds share the one spec type:
+
+``"schedule"``
+    A full ReSHAPE framework run of a workload (named ``"w1"``/``"w2"``,
+    generated ``"synthetic"``, or an explicit ``"jobs"`` tuple) under
+    static or dynamic scheduling — the Table 4/5 and Fig 4/5 shape.
+``"static"``
+    One application at one fixed configuration, no scheduler — the
+    Fig 2(a) scaling-sweep shape.
+``"redist"``
+    One remapping of a block-cyclic matrix from ``start`` to ``target``
+    via message-passing redistribution or the paper's single-node
+    checkpoint/restart comparator (§4.1.2) — the Fig 2(b)/Table "4.5x
+    to 14.5x" shape.
+
+Specs compare by value, hash, and survive ``to_dict`` -> ``json`` ->
+``from_dict`` exactly, so a printed spec re-runs the same experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Optional, Union
+
+from repro.cluster.machine import MachineSpec
+from repro.workloads.paper import JobSpec
+
+SCENARIO_KINDS = ("schedule", "static", "redist")
+WORKLOAD_NAMES = ("w1", "w2", "synthetic", "jobs", "single")
+
+
+def _pairs(params) -> tuple[tuple[str, float], ...]:
+    """Normalize policy params (dict or pair-iterable) to sorted pairs."""
+    if isinstance(params, dict):
+        items = params.items()
+    else:
+        items = (tuple(p) for p in params)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment, declaratively.  See the module docstring."""
+
+    kind: str = "schedule"
+    label: Optional[str] = None
+
+    # -- workload (kind="schedule") -----------------------------------
+    #: "w1" | "w2" (paper job mixes), "synthetic" (generator), "jobs"
+    #: (explicit ``jobs`` tuple), or "single" (one job from app/size/start).
+    workload: str = "single"
+    jobs: tuple[JobSpec, ...] = ()
+    num_jobs: int = 6
+    seed: int = 0
+    mean_interarrival: float = 200.0
+    arrival_model: str = "poisson"
+    max_initial: int = 16
+    iterations: int = 10
+
+    # -- single application (workload="single", kind="static"/"redist")
+    app: str = "lu"
+    size: int = 12000
+    start: tuple[int, int] = (1, 2)
+    #: Destination grid of a kind="redist" scenario.
+    target: Optional[tuple[int, int]] = None
+    #: ScaLAPACK-style block size for kind="redist" matrices.
+    block: int = 120
+
+    # -- machine / engine ---------------------------------------------
+    machine: MachineSpec = MachineSpec()
+    num_processors: Optional[int] = None
+    kernel: str = "calendar"
+
+    # -- scheduling policy --------------------------------------------
+    dynamic: bool = True
+    backfill: bool = True
+    scheduler: str = "indexed"
+    sweet_spot: str = "simple"
+    sweet_spot_params: tuple[tuple[str, float], ...] = ()
+    expansion: str = "next-larger"
+    expansion_params: tuple[tuple[str, float], ...] = ()
+    #: "reshape" (message passing) or "checkpoint" (through-disk).
+    redistribution_method: str = "reshape"
+
+    def __post_init__(self):
+        # Coerce JSON-decoded shapes so from_dict round-trips exactly
+        # and literal-dict specs need no ceremony.
+        set_ = object.__setattr__
+        if isinstance(self.machine, dict):
+            set_(self, "machine", MachineSpec(**self.machine))
+        set_(self, "jobs", tuple(
+            j if isinstance(j, JobSpec) else JobSpec.from_dict(j)
+            for j in self.jobs))
+        set_(self, "start", tuple(self.start))
+        if self.target is not None:
+            set_(self, "target", tuple(self.target))
+        set_(self, "sweet_spot_params", _pairs(self.sweet_spot_params))
+        set_(self, "expansion_params", _pairs(self.expansion_params))
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}; "
+                             f"known: {SCENARIO_KINDS}")
+        if self.kind == "schedule" and self.workload not in WORKLOAD_NAMES:
+            raise ValueError(f"unknown workload {self.workload!r}; "
+                             f"known: {WORKLOAD_NAMES}")
+        if self.kind == "redist":
+            if self.target is None:
+                raise ValueError("kind='redist' needs a target grid")
+            if self.redistribution_method not in ("reshape", "checkpoint"):
+                raise ValueError(f"unknown redistribution method "
+                                 f"{self.redistribution_method!r}")
+
+    # -- identity ------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable scenario name (label, or derived)."""
+        if self.label:
+            return self.label
+        if self.kind == "redist":
+            return (f"redist:{self.app}({self.size}) "
+                    f"{self.start[0]}x{self.start[1]}->"
+                    f"{self.target[0]}x{self.target[1]}"
+                    f":{self.redistribution_method}")
+        if self.kind == "static":
+            return (f"static:{self.app}({self.size})"
+                    f"@{self.start[0]}x{self.start[1]}")
+        mode = "dynamic" if self.dynamic else "static"
+        if self.workload == "single":
+            return f"{self.app}({self.size}):{mode}"
+        return f"{self.workload}:{mode}:{self.sweet_spot}:{self.expansion}"
+
+    def but(self, **changes) -> "ScenarioSpec":
+        """A copy with fields replaced (grid-building convenience)."""
+        return replace(self, **changes)
+
+    # -- JSON round-trip ----------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe full description; inverse of :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "workload": self.workload,
+            "jobs": [j.to_dict() for j in self.jobs],
+            "num_jobs": self.num_jobs,
+            "seed": self.seed,
+            "mean_interarrival": self.mean_interarrival,
+            "arrival_model": self.arrival_model,
+            "max_initial": self.max_initial,
+            "iterations": self.iterations,
+            "app": self.app,
+            "size": self.size,
+            "start": list(self.start),
+            "target": None if self.target is None else list(self.target),
+            "block": self.block,
+            "machine": asdict(self.machine),
+            "num_processors": self.num_processors,
+            "kernel": self.kernel,
+            "dynamic": self.dynamic,
+            "backfill": self.backfill,
+            "scheduler": self.scheduler,
+            "sweet_spot": self.sweet_spot,
+            "sweet_spot_params": dict(self.sweet_spot_params),
+            "expansion": self.expansion,
+            "expansion_params": dict(self.expansion_params),
+            "redistribution_method": self.redistribution_method,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioSpec":
+        """Build a spec from a (possibly partial) JSON-safe dict."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown ScenarioSpec fields: "
+                             f"{sorted(unknown)}")
+        kwargs = dict(d)
+        if kwargs.get("target") is not None:
+            kwargs["target"] = tuple(kwargs["target"])
+        if "start" in kwargs:
+            kwargs["start"] = tuple(kwargs["start"])
+        return cls(**kwargs)
+
+
+#: Timeline entry: ``(time, job_id, job_name, nprocs, config, reason)``
+#: — the tuple form of :class:`repro.core.events.ConfigChange`.
+TimelineEntry = tuple
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """What one scenario produced: plain data, picklable, comparable.
+
+    ``wall_time`` is excluded from equality so a serial run and a
+    subprocess run of the same spec compare bit-identical when their
+    simulated trajectories agree.
+    """
+
+    spec: ScenarioSpec
+    #: ConfigChange tuples in recording order (empty for non-schedule).
+    timeline: tuple[TimelineEntry, ...] = ()
+    #: Per job: (name, requested_size, arrival, turnaround, redist_time).
+    job_stats: tuple[tuple, ...] = ()
+    #: Per job: (name, ((iteration, config, iter_time, redist_time), ...)).
+    iteration_logs: tuple[tuple, ...] = ()
+    utilization: float = 0.0
+    makespan: float = 0.0
+    #: Simulated clock at scenario end.
+    simulated_time: float = 0.0
+    #: Kind-specific scalars, e.g. ("elapsed", 12.3) for redist.
+    metrics: tuple[tuple[str, float], ...] = ()
+    #: Host seconds the scenario took (not part of equality).
+    wall_time: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def metric(self, key: str, default=None):
+        for k, v in self.metrics:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def turnarounds(self) -> dict[str, float]:
+        return {name: ta for name, _size, _arr, ta, _rd in self.job_stats
+                if ta is not None}
+
+    def timeline_recorder(self):
+        """Rebuild a :class:`~repro.core.events.TimelineRecorder` (for
+        the ASCII allocation charts and utilization helpers)."""
+        from repro.core.events import TimelineRecorder
+        rec = TimelineRecorder()
+        for when, job_id, job_name, nprocs, config, reason in self.timeline:
+            rec.record(when, job_id, job_name, nprocs, config, reason)
+        return rec
+
+
+@dataclass(frozen=True)
+class ScenarioError:
+    """A scenario that failed — the sweep completes around it.
+
+    ``phase`` distinguishes a clean Python exception (``"error"``) from
+    a worker that exceeded the per-scenario timeout (``"timeout"``) or
+    died outright, e.g. a segfault or ``os._exit`` (``"crash"``).
+    """
+
+    spec: ScenarioSpec
+    error: str
+    phase: str = "error"
+    traceback: str = field(default="", compare=False)
+    attempts: int = field(default=1, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+#: What a sweep yields per scenario.
+ScenarioOutcome = Union[ScenarioResult, ScenarioError]

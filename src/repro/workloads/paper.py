@@ -123,13 +123,24 @@ def make_application(kind: str, problem_size: int, *,
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One row of a workload table: what to run, when, and how big."""
+    """One row of a workload table: what to run, when, and how big.
+
+    A frozen, picklable value object: stable ``__eq__``/``__repr__``
+    plus a JSON-safe dict round-trip, so workload grids can be written
+    as literal dicts and shipped to sweep worker processes.
+    """
 
     kind: str
     problem_size: int
     initial_config: tuple[int, int]
     arrival: float
     label: Optional[str] = None
+
+    def __post_init__(self):
+        # Tolerate JSON-decoded lists so from_dict round-trips exactly.
+        if not isinstance(self.initial_config, tuple):
+            object.__setattr__(self, "initial_config",
+                               tuple(self.initial_config))
 
     def build(self, *, iterations: int = 10,
               materialized: bool = False) -> Application:
@@ -140,6 +151,19 @@ class JobSpec:
     @property
     def name(self) -> str:
         return self.label or f"{self.kind}({self.problem_size})"
+
+    def to_dict(self) -> dict:
+        """JSON-safe description; inverse of :meth:`from_dict`."""
+        return {"kind": self.kind, "problem_size": self.problem_size,
+                "initial_config": list(self.initial_config),
+                "arrival": self.arrival, "label": self.label}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        return cls(kind=d["kind"], problem_size=d["problem_size"],
+                   initial_config=tuple(d["initial_config"]),
+                   arrival=d.get("arrival", 0.0),
+                   label=d.get("label"))
 
 
 #: Table 3 / Table 4 — workload W1.  Initial allocations from Table 4;

@@ -12,7 +12,7 @@ from repro.core.policies import GreedyExpansionPolicy, ThresholdSweetSpot
 def run_lu(dynamic=True, n=480, block=48, iterations=5, procs=16,
            materialized=True, **fw_kwargs):
     fw = ReshapeFramework(num_processors=procs,
-                          spec=MachineSpec(num_nodes=max(procs, 8)),
+                          machine_spec=MachineSpec(num_nodes=max(procs, 8)),
                           dynamic=dynamic, **fw_kwargs)
     app = LUApplication(n, block=block, iterations=iterations,
                         materialized=materialized)
@@ -80,7 +80,7 @@ def test_rpc_latency_charged():
 
 def test_matmul_data_correct_after_resizes():
     fw = ReshapeFramework(num_processors=16,
-                          spec=MachineSpec(num_nodes=16))
+                          machine_spec=MachineSpec(num_nodes=16))
     app = MatMulApplication(96, block=12, iterations=5,
                             materialized=True)
     job = fw.submit(app, config=(1, 2))
@@ -101,7 +101,7 @@ def test_redistribution_time_accumulates_on_job():
 class TestPriorityScheduling:
     def test_high_priority_jumps_queue(self):
         fw = ReshapeFramework(num_processors=4,
-                              spec=MachineSpec(num_nodes=8),
+                              machine_spec=MachineSpec(num_nodes=8),
                               dynamic=False, backfill=False)
         blocker = fw.submit(LUApplication(480, block=48, iterations=4),
                             config=(2, 2), arrival=0.0)
@@ -117,7 +117,7 @@ class TestPriorityScheduling:
 
     def test_equal_priority_stays_fcfs(self):
         fw = ReshapeFramework(num_processors=4,
-                              spec=MachineSpec(num_nodes=8),
+                              machine_spec=MachineSpec(num_nodes=8),
                               dynamic=False, backfill=False)
         fw.submit(LUApplication(480, block=48, iterations=3),
                   config=(2, 2), arrival=0.0)

@@ -75,13 +75,77 @@ def test_gate_fails_on_metric_missing_from_results(dirs):
     assert run_gate(results, baselines) == 1
 
 
+def sweep_payload(ratio_min=5.0, ratio_max=14.0, in_band=True,
+                  speedup=1.9, bit_identical=True, skipped=None):
+    parallel = {"speedup": speedup, "bit_identical": bit_identical}
+    if skipped:
+        parallel["speedup_skipped"] = skipped
+    return {"checkpoint": {"ratio_min": ratio_min, "ratio_max": ratio_max,
+                           "in_band": in_band},
+            "parallel": parallel}
+
+
+def test_gate_checks_absolute_band_and_floor(dirs):
+    results, baselines = dirs
+    write(baselines, "BENCH_sweep_smoke.json", sweep_payload())
+    write(results, "BENCH_sweep_smoke.json", sweep_payload())
+    assert run_gate(results, baselines) == 0
+
+
+def test_gate_fails_outside_paper_band(dirs, capsys):
+    results, baselines = dirs
+    write(baselines, "BENCH_sweep_smoke.json", sweep_payload())
+    write(results, "BENCH_sweep_smoke.json",
+          sweep_payload(ratio_max=30.0, in_band=False))
+    assert run_gate(results, baselines) == 1
+    out = capsys.readouterr().out
+    assert "checkpoint.ratio_max" in out
+    assert "checkpoint.in_band" in out
+
+
+def test_gate_fails_below_speedup_floor(dirs, capsys):
+    results, baselines = dirs
+    write(baselines, "BENCH_sweep_smoke.json", sweep_payload())
+    write(results, "BENCH_sweep_smoke.json", sweep_payload(speedup=1.2))
+    assert run_gate(results, baselines) == 1
+    assert "parallel.speedup" in capsys.readouterr().out
+
+
+def test_gate_fails_when_merge_not_bit_identical(dirs):
+    results, baselines = dirs
+    write(baselines, "BENCH_sweep_smoke.json", sweep_payload())
+    write(results, "BENCH_sweep_smoke.json",
+          sweep_payload(bit_identical=False))
+    assert run_gate(results, baselines) == 1
+
+
+def test_gate_skips_explicit_null_but_fails_missing_key(dirs, capsys):
+    results, baselines = dirs
+    write(baselines, "BENCH_sweep_smoke.json", sweep_payload())
+    # An honest null (single-core host) passes with a notice...
+    write(results, "BENCH_sweep_smoke.json",
+          sweep_payload(speedup=None, skipped="host has 1 core"))
+    assert run_gate(results, baselines) == 0
+    assert "host has 1 core" in capsys.readouterr().out
+    # ...while a silently absent metric is a broken producer.
+    payload = sweep_payload()
+    del payload["parallel"]["speedup"]
+    write(results, "BENCH_sweep_smoke.json", payload)
+    assert run_gate(results, baselines) == 1
+
+
 def test_tracked_metrics_exist_in_committed_baselines():
-    """Every tracked metric must resolve in the committed baselines —
-    a renamed JSON field would otherwise silently weaken the gate."""
+    """Every baseline-relative tracked metric must resolve in the
+    committed baselines — a renamed JSON field would otherwise silently
+    weaken the gate.  Absolute entries (within/atleast/flag) carry
+    their reference in TRACKED itself; for those, only the file must
+    exist."""
     root = pathlib.Path(__file__).parents[1]
     baselines = root / "benchmarks" / "baselines"
     for name, metrics in check_bench.TRACKED.items():
         data = json.loads((baselines / name).read_text())
-        for path, _direction in metrics:
-            assert check_bench.lookup(data, path) is not None, \
-                f"{name}:{path} missing from committed baseline"
+        for entry in metrics:
+            path, direction = entry[0], entry[1]
+            if direction in ("higher", "lower"):
+                assert check_bench.lookup(data, path) is not None, \
+                    f"{name}:{path} missing from committed baseline"

@@ -1,8 +1,11 @@
 """CLI tests (in-process, via repro.cli.main)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.sweep.spec import ScenarioSpec
 
 
 def test_parser_subcommands():
@@ -59,3 +62,58 @@ def test_synth_subcommand(capsys):
 def test_bad_app_rejected():
     with pytest.raises(SystemExit):
         main(["run", "quicksort"])
+
+
+def test_json_flag_prints_spec_without_running(capsys):
+    rc = main(["run", "lu", "--size", "9000", "--start", "2x2",
+               "--threshold", "0.05", "--greedy", "--json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    spec = json.loads(out)
+    assert spec["kind"] == "schedule" and spec["workload"] == "single"
+    assert spec["size"] == 9000 and spec["start"] == [2, 2]
+    assert spec["sweet_spot"] == "threshold"
+    assert spec["sweet_spot_params"] == {"threshold": 0.05}
+    assert spec["expansion"] == "greedy"
+    # The printed spec is runnable as-is.
+    assert ScenarioSpec.from_dict(spec).name
+
+
+def test_workload_json_emits_static_and_dynamic_pair(capsys):
+    rc = main(["workload", "w2", "--json"])
+    specs = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert [s["dynamic"] for s in specs] == [False, True]
+    assert all(s["workload"] == "w2" for s in specs)
+
+
+def test_grid_json_lists_smoke_specs(capsys):
+    rc = main(["grid", "all", "--smoke", "--json"])
+    specs = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert len(specs) == 16
+    kinds = {s["kind"] for s in specs}
+    assert kinds == {"redist", "schedule"}
+
+
+def test_grid_ckpt_smoke_reports_band(capsys, tmp_path):
+    out_file = tmp_path / "sweep.json"
+    rc = main(["grid", "ckpt", "--smoke", "--workers", "1",
+               "--out", str(out_file)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "paper band" in out and "IN BAND" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["checkpoint"]["in_band"] is True
+    assert payload["parallel"]["scenarios"] == 8
+
+
+def test_grid_runs_specs_from_json_file(capsys, tmp_path):
+    spec_file = tmp_path / "specs.json"
+    main(["run", "mm", "--size", "1200", "--iterations", "1",
+          "--procs", "4", "--json"])
+    spec_file.write_text(capsys.readouterr().out)
+    rc = main(["grid", "--file", str(spec_file), "--workers", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 scenarios, 1 worker(s)" in out

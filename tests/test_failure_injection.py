@@ -41,7 +41,7 @@ class CrashingApplication(Application):
 
 def test_crash_recovers_resources_and_marks_failed():
     fw = ReshapeFramework(num_processors=8,
-                          spec=MachineSpec(num_nodes=8), dynamic=False)
+                          machine_spec=MachineSpec(num_nodes=8), dynamic=False)
     job = fw.submit(CrashingApplication(crash_at=1, iterations=5),
                     config=(1, 4))
     fw.run()
@@ -52,7 +52,7 @@ def test_crash_recovers_resources_and_marks_failed():
 
 def test_crash_does_not_block_other_jobs():
     fw = ReshapeFramework(num_processors=8,
-                          spec=MachineSpec(num_nodes=8), dynamic=False)
+                          machine_spec=MachineSpec(num_nodes=8), dynamic=False)
     crasher = fw.submit(CrashingApplication(crash_at=0, iterations=5),
                         config=(1, 8), arrival=0.0)
     follower = fw.submit(LUApplication(480, block=48, iterations=2),
@@ -67,7 +67,7 @@ def test_crash_does_not_block_other_jobs():
 def test_crash_recorded_on_timeline_as_error():
     """Failures record a distinct "error" ending, not a fake "finish"."""
     fw = ReshapeFramework(num_processors=8,
-                          spec=MachineSpec(num_nodes=8), dynamic=False)
+                          machine_spec=MachineSpec(num_nodes=8), dynamic=False)
     job = fw.submit(CrashingApplication(crash_at=1, iterations=5),
                     config=(1, 4))
     fw.run()

@@ -18,7 +18,7 @@ def small_spec(n=16):
 
 
 def test_single_job_expands_and_completes():
-    fw = ReshapeFramework(num_processors=16, spec=small_spec())
+    fw = ReshapeFramework(num_processors=16, machine_spec=small_spec())
     app = LUApplication(480, block=48, iterations=6, materialized=True)
     job = fw.submit(app, config=(1, 2))
     fw.run()
@@ -32,7 +32,7 @@ def test_single_job_expands_and_completes():
 
 
 def test_data_survives_resizes():
-    fw = ReshapeFramework(num_processors=16, spec=small_spec())
+    fw = ReshapeFramework(num_processors=16, machine_spec=small_spec())
     app = LUApplication(480, block=48, iterations=6, materialized=True)
     job = fw.submit(app, config=(1, 2))
     fw.run()
@@ -42,7 +42,7 @@ def test_data_survives_resizes():
 
 
 def test_static_mode_holds_configuration():
-    fw = ReshapeFramework(num_processors=16, spec=small_spec(),
+    fw = ReshapeFramework(num_processors=16, machine_spec=small_spec(),
                           dynamic=False)
     app = LUApplication(480, block=48, iterations=4)
     job = fw.submit(app, config=(2, 2))
@@ -55,7 +55,7 @@ def test_static_mode_holds_configuration():
 
 
 def test_queued_job_waits_for_processors_fcfs():
-    fw = ReshapeFramework(num_processors=4, spec=small_spec(4),
+    fw = ReshapeFramework(num_processors=4, machine_spec=small_spec(4),
                           dynamic=False, backfill=False)
     app1 = LUApplication(480, block=48, iterations=3)
     app2 = LUApplication(480, block=48, iterations=2)
@@ -67,7 +67,7 @@ def test_queued_job_waits_for_processors_fcfs():
 
 
 def test_backfill_starts_small_job_early():
-    fw = ReshapeFramework(num_processors=6, spec=small_spec(8),
+    fw = ReshapeFramework(num_processors=6, machine_spec=small_spec(8),
                           dynamic=False, backfill=True)
     blocker = LUApplication(480, block=48, iterations=4)
     big = LUApplication(480, block=48, iterations=2)
@@ -83,7 +83,7 @@ def test_backfill_starts_small_job_early():
 
 
 def test_running_job_shrinks_for_queued_job():
-    fw = ReshapeFramework(num_processors=6, spec=small_spec(8))
+    fw = ReshapeFramework(num_processors=6, machine_spec=small_spec(8))
     first = LUApplication(480, block=48, iterations=8)
     second = LUApplication(480, block=48, iterations=2)
     j1 = fw.submit(first, config=(1, 2), arrival=0.0)
@@ -98,7 +98,7 @@ def test_running_job_shrinks_for_queued_job():
 
 
 def test_masterworker_resizes_without_data():
-    fw = ReshapeFramework(num_processors=12, spec=small_spec(12))
+    fw = ReshapeFramework(num_processors=12, machine_spec=small_spec(12))
     app = MasterWorkerApplication(int(2e9), iterations=4)
     app.units_per_iteration = 500
     app.chunk_size = 50
@@ -112,7 +112,7 @@ def test_masterworker_resizes_without_data():
 
 
 def test_checkpoint_redistribution_method():
-    fw = ReshapeFramework(num_processors=8, spec=small_spec(8),
+    fw = ReshapeFramework(num_processors=8, machine_spec=small_spec(8),
                           redistribution_method="checkpoint")
     app = LUApplication(480, block=48, iterations=4, materialized=True)
     job = fw.submit(app, config=(1, 2))
@@ -126,7 +126,7 @@ def test_checkpoint_redistribution_method():
 
 def test_checkpoint_method_costs_more():
     def total_redist(method):
-        fw = ReshapeFramework(num_processors=8, spec=small_spec(8),
+        fw = ReshapeFramework(num_processors=8, machine_spec=small_spec(8),
                               redistribution_method=method)
         app = LUApplication(960, block=96, iterations=4)
         job = fw.submit(app, config=(1, 2))
@@ -139,7 +139,7 @@ def test_checkpoint_method_costs_more():
 
 
 def test_utilization_and_turnaround_reported():
-    fw = ReshapeFramework(num_processors=8, spec=small_spec(8),
+    fw = ReshapeFramework(num_processors=8, machine_spec=small_spec(8),
                           dynamic=False)
     app = LUApplication(480, block=48, iterations=3)
     job = fw.submit(app, config=(2, 2))
@@ -155,7 +155,7 @@ def test_utilization_and_turnaround_reported():
 def test_dynamic_beats_static_on_turnaround():
     """The headline claim: resizing improves turn-around time."""
     def turnaround(dynamic):
-        fw = ReshapeFramework(num_processors=16, spec=small_spec(),
+        fw = ReshapeFramework(num_processors=16, machine_spec=small_spec(),
                               dynamic=dynamic)
         # A compute-heavy job that genuinely scales (phantom mode, so
         # paper-ish problem sizes cost nothing to simulate).
@@ -171,13 +171,13 @@ def test_dynamic_beats_static_on_turnaround():
 
 
 def test_oversized_submission_rejected():
-    fw = ReshapeFramework(num_processors=4, spec=small_spec(4))
+    fw = ReshapeFramework(num_processors=4, machine_spec=small_spec(4))
     with pytest.raises(ValueError):
         fw.submit(LUApplication(480, block=48), config=(4, 4))
 
 
 def test_arrival_times_respected():
-    fw = ReshapeFramework(num_processors=8, spec=small_spec(8),
+    fw = ReshapeFramework(num_processors=8, machine_spec=small_spec(8),
                           dynamic=False)
     app = LUApplication(480, block=48, iterations=2)
     job = fw.submit(app, config=(2, 2), arrival=5.0)
@@ -186,7 +186,7 @@ def test_arrival_times_respected():
 
 
 def test_jacobi_resizes_with_solver_state():
-    fw = ReshapeFramework(num_processors=10, spec=small_spec(10))
+    fw = ReshapeFramework(num_processors=10, machine_spec=small_spec(10))
     app = JacobiApplication(40, block=5, iterations=5, materialized=True)
     app.inner_sweeps = 25
     job = fw.submit(app, config=(2, 1))

@@ -53,7 +53,7 @@ def test_anchored_runtime_replays():
     ``confirm`` times and every further iteration is replayed."""
     app = CountingApp(64, block=8, iterations=6)
     result = run_static(app, (4, 1),
-                        spec=MachineSpec(num_nodes=4))
+                        machine_spec=MachineSpec(num_nodes=4))
     assert app.body_runs == 1
     assert len(result.iteration_times) == 6
     # Replayed iterations charge exactly the measured duration.
@@ -63,7 +63,7 @@ def test_anchored_runtime_replays():
 
 def test_confirm_two_measures_twice():
     app = CountingApp(64, block=8, iterations=6, confirm=2)
-    run_static(app, (4, 1), spec=MachineSpec(num_nodes=4))
+    run_static(app, (4, 1), machine_spec=MachineSpec(num_nodes=4))
     assert app.body_runs == 2
 
 
@@ -92,7 +92,7 @@ def test_fastpath_off_declines():
     """Without the deterministic fast path the helper must not replay
     (tracing/ablation runs need the live event traffic)."""
     app = CountingApp(64, block=8, iterations=4)
-    run_static(app, (4, 1), spec=MachineSpec(num_nodes=4),
+    run_static(app, (4, 1), machine_spec=MachineSpec(num_nodes=4),
                collective_fastpath=False)
     assert app.body_runs == 4
 
@@ -100,7 +100,7 @@ def test_fastpath_off_declines():
 def test_materialized_declines():
     """Real data means real per-iteration arithmetic; never replay."""
     app = MatMulApplication(48, block=12, iterations=3, materialized=True)
-    result = run_static(app, (2, 2), spec=MachineSpec(num_nodes=4),
+    result = run_static(app, (2, 2), machine_spec=MachineSpec(num_nodes=4),
                         verify=True)
     assert len(result.iteration_times) == 3
     assert result.verified is True

@@ -28,7 +28,7 @@ def iter_time(app_cls, config, *, n, block, materialized, **app_kwargs):
                   materialized=materialized, **app_kwargs)
     for key, value in app_kwargs.items():
         setattr(app, key, value)
-    result = run_static(app, config, spec=MachineSpec(num_nodes=16))
+    result = run_static(app, config, machine_spec=MachineSpec(num_nodes=16))
     return result.mean_iteration_time
 
 

@@ -22,7 +22,7 @@ def test_data_integrity_under_random_resizes(n_over_block, block,
                                              iterations, procs):
     n = n_over_block * block
     fw = ReshapeFramework(num_processors=procs,
-                          spec=MachineSpec(num_nodes=max(procs, 4)))
+                          machine_spec=MachineSpec(num_nodes=max(procs, 4)))
     app = MatMulApplication(n, block=block, iterations=iterations,
                             materialized=True)
     job = fw.submit(app, config=(1, 2))
@@ -44,7 +44,7 @@ def test_data_integrity_under_random_resizes(n_over_block, block,
 def test_processor_conservation(arrivals, procs):
     """At no recorded instant does allocation exceed the pool."""
     fw = ReshapeFramework(num_processors=procs,
-                          spec=MachineSpec(num_nodes=procs))
+                          machine_spec=MachineSpec(num_nodes=procs))
     for i, arrival in enumerate(arrivals):
         app = MatMulApplication(480, block=48, iterations=2)
         fw.submit(app, config=(1, 2), arrival=arrival, name=f"j{i}")
@@ -60,7 +60,7 @@ def test_processor_conservation(arrivals, procs):
 @given(procs=st.sampled_from([6, 9, 16]), seed=st.integers(0, 100))
 def test_utilization_bounded(procs, seed):
     fw = ReshapeFramework(num_processors=procs,
-                          spec=MachineSpec(num_nodes=max(procs, 4)))
+                          machine_spec=MachineSpec(num_nodes=max(procs, 4)))
     rng = np.random.default_rng(seed)
     for i in range(2):
         app = MatMulApplication(480, block=48, iterations=2)
@@ -74,7 +74,7 @@ def test_utilization_bounded(procs, seed):
 @given(iterations=st.integers(2, 5))
 def test_iteration_log_complete_under_resizing(iterations):
     fw = ReshapeFramework(num_processors=12,
-                          spec=MachineSpec(num_nodes=12))
+                          machine_spec=MachineSpec(num_nodes=12))
     app = MatMulApplication(960, block=96, iterations=iterations)
     job = fw.submit(app, config=(1, 2))
     fw.run()

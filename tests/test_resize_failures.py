@@ -78,7 +78,7 @@ class NoopApplication(Application):
 
 
 def run_child_crash(with_follower: bool):
-    fw = ReshapeFramework(num_processors=6, spec=MachineSpec(num_nodes=8))
+    fw = ReshapeFramework(num_processors=6, machine_spec=MachineSpec(num_nodes=8))
     crasher = fw.submit(
         ChildCrashApplication(initial_procs=3, iterations=6),
         config=(1, 3), name="crasher")
@@ -200,7 +200,7 @@ def test_checkpoint_total_bytes_matches_per_rank_traffic():
 def test_profiler_records_wire_bytes_not_payload():
     """The resize history must log actual traffic, distinct from payload."""
     fw = ReshapeFramework(num_processors=16,
-                          spec=MachineSpec(num_nodes=16))
+                          machine_spec=MachineSpec(num_nodes=16))
     app = LUApplication(480, block=48, iterations=5, materialized=True)
     job = fw.submit(app, config=(1, 2))
     fw.run()

@@ -9,7 +9,7 @@ from repro.core import JobState, ReshapeFramework
 def test_shrink_only_to_previously_visited_configs():
     """'Applications can only shrink to processor configurations on
     which they have previously run.'"""
-    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8))
+    fw = ReshapeFramework(num_processors=8, machine_spec=MachineSpec(num_nodes=8))
     first = LUApplication(480, block=48, iterations=10)
     second = LUApplication(480, block=48, iterations=2)
     j1 = fw.submit(first, config=(1, 2), arrival=0.0)
@@ -30,7 +30,7 @@ def test_shrink_only_to_previously_visited_configs():
 
 def test_shrink_frees_exact_processor_suffix():
     """Survivors keep the low ranks; freed processors return to pool."""
-    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8))
+    fw = ReshapeFramework(num_processors=8, machine_spec=MachineSpec(num_nodes=8))
     first = LUApplication(480, block=48, iterations=10)
     second = LUApplication(480, block=48, iterations=1)
     j1 = fw.submit(first, config=(1, 2), arrival=0.0)
@@ -43,7 +43,7 @@ def test_shrink_frees_exact_processor_suffix():
 
 def test_departing_ranks_data_rescued():
     """Shrink redistributes data off the departing processors first."""
-    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8))
+    fw = ReshapeFramework(num_processors=8, machine_spec=MachineSpec(num_nodes=8))
     app = LUApplication(480, block=48, iterations=10, materialized=True)
     j1 = fw.submit(app, config=(1, 2), arrival=0.0)
     fw.submit(LUApplication(480, block=48, iterations=1),
@@ -56,7 +56,7 @@ def test_departing_ranks_data_rescued():
 
 def test_masterworker_shrinks_for_queue_without_data_cost():
     fw = ReshapeFramework(num_processors=10,
-                          spec=MachineSpec(num_nodes=10))
+                          machine_spec=MachineSpec(num_nodes=10))
     mw = MasterWorkerApplication(int(2e10), iterations=12)
     mw.units_per_iteration = 400
     mw.chunk_size = 50
@@ -75,7 +75,7 @@ def test_shrink_to_starting_set_when_cannot_free_enough():
     """'...the Remap Scheduler will shrink the application to its
     smallest shrink point (i.e., its starting processor set).'"""
     fw = ReshapeFramework(num_processors=12,
-                          spec=MachineSpec(num_nodes=12))
+                          machine_spec=MachineSpec(num_nodes=12))
     first = LUApplication(480, block=48, iterations=14)
     # The queued job is too big to ever start: the running job still
     # falls back to its starting configuration.
@@ -90,7 +90,7 @@ def test_shrink_to_starting_set_when_cannot_free_enough():
 
 
 def test_static_never_shrinks():
-    fw = ReshapeFramework(num_processors=8, spec=MachineSpec(num_nodes=8),
+    fw = ReshapeFramework(num_processors=8, machine_spec=MachineSpec(num_nodes=8),
                           dynamic=False)
     fw.submit(LUApplication(480, block=48, iterations=6), config=(2, 2))
     fw.submit(LUApplication(480, block=48, iterations=2), config=(2, 2),
